@@ -1,0 +1,104 @@
+// Command mfpaagent is the client-side monitor as a CLI: it loads a
+// model envelope (from mfpatrain -save or fleetops publishing), replays
+// telemetry CSV (from mfpagen) through the agent, and reports every
+// alarm with its top contributing features.
+//
+// Usage:
+//
+//	mfpaagent -model model.json -data fleet.csv [-sn I-F000000] [-alarm-after 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/agent"
+	"repro/internal/dataset"
+	"repro/internal/modelio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mfpaagent: ")
+
+	var (
+		modelPath  = flag.String("model", "", "model envelope path (required)")
+		dataPath   = flag.String("data", "", "telemetry CSV path (required)")
+		sn         = flag.String("sn", "", "replay only this drive (empty = all)")
+		alarmAfter = flag.Int("alarm-after", 2, "consecutive flags before alarming")
+		verbose    = flag.Bool("v", false, "print every flagged observation, not just alarms")
+	)
+	flag.Parse()
+	if *modelPath == "" || *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := modelio.Load(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	df, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := dataset.ReadCSV(df)
+	df.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ag, err := agent.New(model, agent.Options{AlarmAfter: *alarmAfter, Explain: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("agent: %s/%s model, threshold %.3f, alarm after %d flags\n",
+		model.TrainerName, model.Config.Group, model.Threshold, *alarmAfter)
+
+	drives := data.SerialNumbers()
+	if *sn != "" {
+		if _, ok := data.Series(*sn); !ok {
+			log.Fatalf("drive %s not in %s", *sn, *dataPath)
+		}
+		drives = []string{*sn}
+	}
+
+	alarms, scanned := 0, 0
+	for _, drive := range drives {
+		series, _ := data.Series(drive)
+		// Only vendor-matched drives can be scored meaningfully.
+		if model.Config.Vendor != "" && series.Vendor != model.Config.Vendor {
+			continue
+		}
+		scanned++
+		for i := range series.Records {
+			as, err := ag.Observe(series.Records[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *verbose && as.Flagged {
+				fmt.Printf("%s day %d: P=%.3f flagged (%d consecutive)\n",
+					drive, as.Day, as.Probability, as.ConsecutiveFlags)
+			}
+			if as.Alarmed {
+				alarms++
+				fmt.Printf("%s day %d: ALARM P=%.3f", drive, as.Day, as.Probability)
+				for _, f := range as.TopFactors {
+					fmt.Printf("  %s+%.3f", f.Feature, f.Contribution)
+				}
+				fmt.Println()
+				break
+			}
+		}
+	}
+	fmt.Printf("%d drives scanned, %d alarms\n", scanned, alarms)
+}

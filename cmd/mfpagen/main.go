@@ -1,0 +1,128 @@
+// Command mfpagen simulates a consumer SSD fleet and writes its
+// telemetry to a CSV file (plus a tickets CSV and a ground-truth CSV),
+// so the other tools and external analyses can consume a fixed dataset.
+//
+// Usage:
+//
+//	mfpagen -out fleet.csv [-tickets tickets.csv] [-truth truth.csv]
+//	        [-seed 1] [-days 210] [-scale 0.2] [-drift]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/simfleet"
+	"repro/internal/ticket"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mfpagen: ")
+
+	var (
+		out         = flag.String("out", "fleet.csv", "telemetry CSV output path")
+		ticketsPath = flag.String("tickets", "", "tickets CSV output path (optional)")
+		truthPath   = flag.String("truth", "", "ground-truth CSV output path (optional)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		days        = flag.Int("days", 0, "observation window length in days (0 = default)")
+		scale       = flag.Float64("scale", 0.2, "failure-count scale factor")
+		drift       = flag.Bool("drift", false, "use the drifting-fleet configuration (Figs. 12/16)")
+	)
+	flag.Parse()
+
+	cfg := simfleet.DefaultConfig()
+	if *drift {
+		cfg = simfleet.DriftConfig()
+	}
+	cfg.Seed = *seed
+	cfg.FailureScale = *scale
+	if *days > 0 {
+		cfg.Days = *days
+	}
+
+	res, err := simfleet.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeTelemetry(*out, res.Data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d drives, %d records, %d faulty\n",
+		*out, res.Data.Drives(), res.Data.Len(), res.FaultyCount())
+
+	if *ticketsPath != "" {
+		if err := writeTickets(*ticketsPath, res.Tickets); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d tickets\n", *ticketsPath, res.Tickets.Len())
+	}
+	if *truthPath != "" {
+		if err := writeTruth(*truthPath, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d drives\n", *truthPath, len(res.Truth))
+	}
+}
+
+func writeTelemetry(path string, d *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeTickets(path string, store *ticket.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ticket.WriteCSV(f, store); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeTruth(path string, res *simfleet.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"sn", "vendor", "model", "firmware", "faulty", "fail_day", "fail_hours", "kind"}); err != nil {
+		return err
+	}
+	sns := make([]string, 0, len(res.Truth))
+	for sn := range res.Truth {
+		sns = append(sns, sn)
+	}
+	sort.Strings(sns)
+	for _, sn := range sns {
+		t := res.Truth[sn]
+		if err := w.Write([]string{
+			t.SerialNumber, t.Vendor, t.Model, t.Firmware,
+			strconv.FormatBool(t.Faulty), strconv.Itoa(t.FailDay),
+			strconv.FormatFloat(t.FailPowerOnHours, 'f', 1, 64), t.Kind,
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}

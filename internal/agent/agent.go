@@ -1,0 +1,274 @@
+// Package agent implements the client-side deployment of MFPA that the
+// paper's overhead discussion targets: a lightweight monitor that runs
+// on the user's machine, ingests each day's telemetry record for the
+// local drive(s), maintains the cumulative counters the model expects,
+// scores in microseconds, and raises a backup/replace alarm with
+// hysteresis so a single noisy day does not trigger data migration.
+// Models arrive through modelio envelopes and can be swapped live when
+// the server pushes a re-iterated model (the paper: every two months).
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/firmware"
+)
+
+// Options configures an agent.
+type Options struct {
+	// AlarmAfter is how many consecutive flagged observations raise the
+	// alarm; 0 selects 2. Higher values trade detection latency for
+	// fewer spurious migrations.
+	AlarmAfter int
+	// Registries supplies per-vendor firmware ladders for label
+	// encoding; nil falls back to first-seen-order encoding (fine for a
+	// single-machine agent).
+	Registries map[string]*firmware.Registry
+	// Explain attaches the top contributing features to flagged
+	// assessments when the deployed model supports decision-path
+	// attribution (the random forest does). Costs one extra tree walk
+	// per flagged observation.
+	Explain bool
+}
+
+// Factor is one feature's contribution to a flagged prediction.
+type Factor struct {
+	Feature      string
+	Contribution float64
+}
+
+// explainer is satisfied by models with faithful per-prediction
+// attribution (forest.Model).
+type explainer interface {
+	Explain(x []float64) (contributions []float64, bias float64)
+}
+
+// Agent scores a machine's drive telemetry stream against a deployed
+// model. It is safe for concurrent use.
+type Agent struct {
+	mu         sync.Mutex
+	model      *core.Model
+	extractor  *features.Extractor
+	alarmAfter int
+	registries map[string]*firmware.Registry
+	explain    bool
+	drives     map[string]*driveState
+}
+
+// driveState is the per-drive accumulation the pipeline's Cumulate
+// stage performs fleet-side.
+type driveState struct {
+	lastDay     int
+	cumW        []float64
+	cumB        []float64
+	consecutive int
+	alarmed     bool
+	observed    int
+}
+
+// Assessment is the outcome of one observation.
+type Assessment struct {
+	SerialNumber string
+	Day          int
+	// Probability is the model's P(faulty) for this record.
+	Probability float64
+	// Flagged reports Probability ≥ the model's calibrated threshold.
+	Flagged bool
+	// ConsecutiveFlags counts the current run of flagged observations.
+	ConsecutiveFlags int
+	// Alarmed reports that the hysteresis criterion has been met (and
+	// latches until ResetDrive).
+	Alarmed bool
+	// TopFactors lists the strongest positive feature contributions
+	// when Options.Explain is set, the observation is flagged, and the
+	// model supports attribution; nil otherwise.
+	TopFactors []Factor
+}
+
+// New builds an agent around a deployed model.
+func New(model *core.Model, opts Options) (*Agent, error) {
+	if model == nil || model.Classifier == nil {
+		return nil, fmt.Errorf("agent: nil model")
+	}
+	if model.Config.Algorithm.Sequential() {
+		return nil, fmt.Errorf("agent: sequence models (%s) are not supported client-side; deploy a flat model", model.Config.Algorithm)
+	}
+	alarmAfter := opts.AlarmAfter
+	if alarmAfter == 0 {
+		alarmAfter = 2
+	}
+	if alarmAfter < 1 {
+		return nil, fmt.Errorf("agent: AlarmAfter %d must be ≥ 1", alarmAfter)
+	}
+	ext, err := features.NewExtractor(model.Config.Group, opts.Registries)
+	if err != nil {
+		return nil, err
+	}
+	if model.Width != 0 && ext.Width() != model.Width {
+		return nil, fmt.Errorf("agent: model width %d does not match group %s width %d",
+			model.Width, model.Config.Group, ext.Width())
+	}
+	return &Agent{
+		model:      model,
+		extractor:  ext,
+		alarmAfter: alarmAfter,
+		registries: opts.Registries,
+		explain:    opts.Explain,
+		drives:     make(map[string]*driveState),
+	}, nil
+}
+
+// Observe ingests one day's raw (daily-count) telemetry record and
+// returns the health assessment. Records for a drive must arrive in
+// chronological order.
+func (a *Agent) Observe(rec dataset.Record) (Assessment, error) {
+	if err := rec.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	st, ok := a.drives[rec.SerialNumber]
+	if !ok {
+		st = &driveState{
+			lastDay: -1,
+			cumW:    make([]float64, len(rec.WCounts)),
+			cumB:    make([]float64, len(rec.BCounts)),
+		}
+		a.drives[rec.SerialNumber] = st
+	}
+	if rec.Day <= st.lastDay {
+		return Assessment{}, fmt.Errorf("agent: drive %s: day %d arrives after day %d", rec.SerialNumber, rec.Day, st.lastDay)
+	}
+	st.lastDay = rec.Day
+	st.observed++
+
+	// Accumulate W/B exactly as the training pipeline's Cumulate stage
+	// does, then score the cumulated view of the record.
+	for i, v := range rec.WCounts {
+		st.cumW[i] += v
+	}
+	for i, v := range rec.BCounts {
+		st.cumB[i] += v
+	}
+	scored := rec.Clone()
+	copy(scored.WCounts, st.cumW)
+	copy(scored.BCounts, st.cumB)
+
+	x := a.extractor.Extract(&scored)
+	p := a.model.Predict(x)
+	flagged := p >= a.model.Threshold
+	if flagged {
+		st.consecutive++
+	} else {
+		st.consecutive = 0
+	}
+	if st.consecutive >= a.alarmAfter {
+		st.alarmed = true
+	}
+	as := Assessment{
+		SerialNumber:     rec.SerialNumber,
+		Day:              rec.Day,
+		Probability:      p,
+		Flagged:          flagged,
+		ConsecutiveFlags: st.consecutive,
+		Alarmed:          st.alarmed,
+	}
+	if flagged && a.explain {
+		as.TopFactors = a.topFactors(x)
+	}
+	return as, nil
+}
+
+// topFactors returns the three strongest positive contributions when
+// the model supports attribution.
+func (a *Agent) topFactors(x []float64) []Factor {
+	exp, ok := a.model.Classifier.(explainer)
+	if !ok {
+		return nil
+	}
+	contrib, _ := exp.Explain(x)
+	names := a.extractor.Names()
+	if len(contrib) != len(names) {
+		return nil
+	}
+	factors := make([]Factor, 0, len(contrib))
+	for i, c := range contrib {
+		if c > 0 {
+			factors = append(factors, Factor{Feature: names[i], Contribution: c})
+		}
+	}
+	sort.Slice(factors, func(i, j int) bool { return factors[i].Contribution > factors[j].Contribution })
+	if len(factors) > 3 {
+		factors = factors[:3]
+	}
+	return factors
+}
+
+// UpdateModel swaps in a newly pushed model. The feature group must
+// match so the accumulated per-drive state stays valid.
+func (a *Agent) UpdateModel(model *core.Model) error {
+	if model == nil || model.Classifier == nil {
+		return fmt.Errorf("agent: nil model")
+	}
+	if model.Config.Algorithm.Sequential() {
+		return fmt.Errorf("agent: sequence models are not supported client-side")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if model.Config.Group != a.model.Config.Group {
+		return fmt.Errorf("agent: pushed model uses group %s, agent runs %s",
+			model.Config.Group, a.model.Config.Group)
+	}
+	ext, err := features.NewExtractor(model.Config.Group, a.registries)
+	if err != nil {
+		return err
+	}
+	a.model = model
+	a.extractor = ext
+	return nil
+}
+
+// Threshold returns the active model's decision threshold.
+func (a *Agent) Threshold() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.model.Threshold
+}
+
+// Drives lists the serial numbers observed so far, sorted.
+func (a *Agent) Drives() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.drives))
+	for sn := range a.drives {
+		out = append(out, sn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alarmed reports whether a drive's alarm has latched.
+func (a *Agent) Alarmed(sn string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.drives[sn]
+	return ok && st.alarmed
+}
+
+// ResetDrive clears a drive's accumulated state (e.g. after the drive
+// was replaced). It reports whether the drive was known.
+func (a *Agent) ResetDrive(sn string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.drives[sn]; !ok {
+		return false
+	}
+	delete(a.drives, sn)
+	return true
+}

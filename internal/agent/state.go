@@ -1,0 +1,93 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Consumer machines reboot constantly, so the agent's per-drive
+// accumulation must survive process restarts: SaveState serialises the
+// cumulative counters, flag runs, and alarm latches; LoadState restores
+// them into a freshly constructed agent (the model itself travels
+// separately, via modelio).
+
+// stateVersion guards the state layout.
+const stateVersion = 1
+
+// persistedState is the on-disk form of the agent's drive map.
+type persistedState struct {
+	Version int                       `json:"version"`
+	Group   string                    `json:"group"`
+	Drives  map[string]persistedDrive `json:"drives"`
+}
+
+// persistedDrive mirrors driveState.
+type persistedDrive struct {
+	LastDay     int       `json:"last_day"`
+	CumW        []float64 `json:"cum_w"`
+	CumB        []float64 `json:"cum_b"`
+	Consecutive int       `json:"consecutive"`
+	Alarmed     bool      `json:"alarmed"`
+	Observed    int       `json:"observed"`
+}
+
+// SaveState writes the agent's accumulated per-drive state to w.
+func (a *Agent) SaveState(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := persistedState{
+		Version: stateVersion,
+		Group:   a.model.Config.Group.String(),
+		Drives:  make(map[string]persistedDrive, len(a.drives)),
+	}
+	for sn, st := range a.drives {
+		out.Drives[sn] = persistedDrive{
+			LastDay:     st.lastDay,
+			CumW:        st.cumW,
+			CumB:        st.cumB,
+			Consecutive: st.consecutive,
+			Alarmed:     st.alarmed,
+			Observed:    st.observed,
+		}
+	}
+	return json.NewEncoder(w).Encode(&out)
+}
+
+// LoadState restores per-drive state saved by SaveState. The feature
+// group must match the current model's, and the agent must not have
+// observed anything yet (restore happens at startup).
+func (a *Agent) LoadState(r io.Reader) error {
+	var in persistedState
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("agent: decode state: %w", err)
+	}
+	if in.Version != stateVersion {
+		return fmt.Errorf("agent: state version %d, want %d", in.Version, stateVersion)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if in.Group != a.model.Config.Group.String() {
+		return fmt.Errorf("agent: state was saved for group %s, agent runs %s", in.Group, a.model.Config.Group)
+	}
+	if len(a.drives) != 0 {
+		return fmt.Errorf("agent: cannot restore state after observations began")
+	}
+	for sn, pd := range in.Drives {
+		if sn == "" {
+			return fmt.Errorf("agent: state contains empty serial number")
+		}
+		if pd.LastDay < -1 || pd.Consecutive < 0 || pd.Observed < 0 {
+			return fmt.Errorf("agent: state for %s is corrupt", sn)
+		}
+		a.drives[sn] = &driveState{
+			lastDay:     pd.LastDay,
+			cumW:        append([]float64(nil), pd.CumW...),
+			cumB:        append([]float64(nil), pd.CumB...),
+			consecutive: pd.Consecutive,
+			alarmed:     pd.Alarmed,
+			observed:    pd.Observed,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package agent
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStateSurvivesRestart(t *testing.T) {
+	fleet, model := setup(t)
+	faulty, _ := pickDrives(t, fleet)
+	series, _ := fleet.Data.Series(faulty)
+	if len(series.Records) < 4 {
+		t.Skip("series too short")
+	}
+	half := len(series.Records) / 2
+
+	// Continuous agent: the ground truth.
+	cont, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contLast Assessment
+	for i := range series.Records {
+		contLast, err = cont.Observe(series.Records[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restarted agent: observe half, save, restore into a new agent,
+	// observe the rest.
+	first, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < half; i++ {
+		if _, err := first.Observe(series.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := first.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	second, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var restLast Assessment
+	for i := half; i < len(series.Records); i++ {
+		restLast, err = second.Observe(series.Records[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restLast.Probability != contLast.Probability {
+		t.Fatalf("restart changed the score: %g vs %g", restLast.Probability, contLast.Probability)
+	}
+	if restLast.Alarmed != contLast.Alarmed || restLast.ConsecutiveFlags != contLast.ConsecutiveFlags {
+		t.Fatalf("restart changed alarm state: %+v vs %+v", restLast, contLast)
+	}
+}
+
+func TestLoadStateRejectsBadInput(t *testing.T) {
+	_, model := setup(t)
+	a, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.LoadState(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":9,"group":"SFWB","drives":{}}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":1,"group":"S","drives":{}}`)); err == nil {
+		t.Error("wrong group accepted")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":1,"group":"SFWB","drives":{"":{}}}`)); err == nil {
+		t.Error("empty serial accepted")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":1,"group":"SFWB","drives":{"A":{"last_day":-5}}}`)); err == nil {
+		t.Error("corrupt drive state accepted")
+	}
+}
+
+func TestLoadStateOnlyAtStartup(t *testing.T) {
+	fleet, model := setup(t)
+	faulty, _ := pickDrives(t, fleet)
+	series, _ := fleet.Data.Series(faulty)
+	a, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Observe(series.Records[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":1,"group":"SFWB","drives":{}}`)); err == nil {
+		t.Fatal("mid-stream restore accepted")
+	}
+}

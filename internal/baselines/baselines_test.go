@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/smartattr"
+)
+
+func smartVector(healthy bool) []float64 {
+	x := make([]float64, smartattr.Count)
+	x[smartattr.AvailableSpare.Index()] = 100
+	x[smartattr.CompositeTemperature.Index()] = 310
+	if !healthy {
+		x[smartattr.MediaErrors.Index()] = 50
+	}
+	return x
+}
+
+func TestThresholdDetector(t *testing.T) {
+	var d ThresholdDetector
+	if got := d.PredictProba(smartVector(true)); got != 0 {
+		t.Fatalf("healthy vector scored %g", got)
+	}
+	// Media errors carry no vendor threshold, so even a degraded drive
+	// escapes the classic detector until its critical warning fires —
+	// the Section II 3–10% TPR behaviour.
+	if got := d.PredictProba(smartVector(false)); got != 0 {
+		t.Fatalf("media errors alone scored %g, want 0", got)
+	}
+	alarmed := smartVector(false)
+	alarmed[smartattr.CriticalWarning.Index()] = 1
+	if got := d.PredictProba(alarmed); got != 1 {
+		t.Fatalf("critical warning scored %g, want 1", got)
+	}
+	lowSpare := smartVector(true)
+	lowSpare[smartattr.AvailableSpare.Index()] = 4
+	if got := d.PredictProba(lowSpare); got != 1 {
+		t.Fatalf("depleted spare scored %g, want 1", got)
+	}
+	if got := d.PredictProba([]float64{1, 2}); got != 0 {
+		t.Fatalf("short vector scored %g, want 0", got)
+	}
+}
+
+func TestAllBaselinesTrainAndScore(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var samples []ml.Sample
+	for i := 0; i < 120; i++ {
+		healthy := i%2 == 0
+		x := smartVector(healthy)
+		x[smartattr.MediaErrors.Index()] += r.Float64()
+		x[smartattr.PowerOnHours.Index()] = 1000 + 10*r.Float64()
+		y := 1
+		if healthy {
+			y = 0
+		}
+		samples = append(samples, ml.Sample{X: x, Y: y, Day: i, SN: "sn"})
+	}
+	for _, b := range All() {
+		if b.Name == "" || b.Citation == "" {
+			t.Errorf("baseline missing metadata: %+v", b)
+		}
+		clf, err := b.NewTrainer(1).Train(samples)
+		if err != nil {
+			t.Errorf("baseline %s: %v", b.Name, err)
+			continue
+		}
+		correct := 0
+		for _, s := range samples {
+			if ml.Predict(clf, s.X) == s.Y {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(samples)); acc < 0.9 {
+			t.Errorf("baseline %s training accuracy %g on separable data", b.Name, acc)
+		}
+	}
+}
+
+func TestErrorLogRFRejectsNarrowVectors(t *testing.T) {
+	samples := []ml.Sample{
+		{X: []float64{1, 2}, Y: 0},
+		{X: []float64{3, 4}, Y: 1},
+	}
+	if _, err := (&errorLogRF{}).Train(samples); err == nil {
+		t.Fatal("narrow vectors accepted")
+	}
+}
+
+func TestMaskedClassifierProjection(t *testing.T) {
+	inner := probe{}
+	mc := &maskedClassifier{inner: inner, keep: []int{2}}
+	if got := mc.PredictProba([]float64{0, 0, 0.7}); got != 0.7 {
+		t.Fatalf("projection = %g, want 0.7", got)
+	}
+}
+
+// probe echoes its first input as the probability.
+type probe struct{}
+
+func (probe) PredictProba(x []float64) float64 { return x[0] }

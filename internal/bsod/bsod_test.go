@@ -1,0 +1,106 @@
+package bsod
+
+import "testing"
+
+func TestCatalogueMatchesTableIV(t *testing.T) {
+	// Table IV lists 22 stop codes.
+	if got := Count(); got != 22 {
+		t.Fatalf("Count() = %d, want 22", got)
+	}
+	// Spot-check well-known codes.
+	cases := []struct {
+		code Code
+		name string
+	}{
+		{PageFaultInNonpagedArea, "PAGE_FAULT_IN_NONPAGED_AREA"},
+		{KernelDataInpageError, "KERNEL_DATA_INPAGE_ERROR"},
+		{NTFSFileSystem, "NTFS_FILE_SYSTEM"},
+		{StatusCannotLoad, "STATUS_CANNOT_LOAD"},
+	}
+	for _, tc := range cases {
+		info, ok := Lookup(tc.code)
+		if !ok {
+			t.Errorf("Lookup(%#x) failed", int(tc.code))
+			continue
+		}
+		if info.Name != tc.name {
+			t.Errorf("Lookup(%#x).Name = %q, want %q", int(tc.code), info.Name, tc.name)
+		}
+	}
+}
+
+func TestStorageRelatedSubset(t *testing.T) {
+	storage := StorageRelated()
+	if len(storage) == 0 {
+		t.Fatal("no storage-related codes")
+	}
+	if len(storage) >= Count() {
+		t.Fatal("all codes marked storage-related; healthy machines need non-storage BSODs")
+	}
+	// The key pre-failure signals must be storage-related.
+	for _, code := range []Code{PageFaultInNonpagedArea, KernelDataInpageError, NTFSFileSystem} {
+		info, _ := Lookup(code)
+		if !info.StorageRelated {
+			t.Errorf("%v should be storage-related", code)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := PageFaultInNonpagedArea.Label(); got != "B_50" {
+		t.Fatalf("Label = %q, want B_50", got)
+	}
+	if got := KernelDataInpageError.Label(); got != "B_7A" {
+		t.Fatalf("Label = %q, want B_7A", got)
+	}
+	if got := Code(0x42).String(); got != "B_42" {
+		t.Fatalf("unknown code String = %q, want B_42", got)
+	}
+	if got := NTFSFileSystem.String(); got != "NTFS_FILE_SYSTEM" {
+		t.Fatalf("known code String = %q", got)
+	}
+}
+
+func TestIndexDense(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, info := range All() {
+		idx := info.Code.Index()
+		if idx < 0 || idx >= Count() || seen[idx] {
+			t.Fatalf("bad or duplicate index %d for %v", idx, info.Code)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestIndexPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index of unknown code should panic")
+		}
+	}()
+	Code(0xDEADBEEF).Index()
+}
+
+func TestCounts(t *testing.T) {
+	c := NewCounts()
+	if len(c) != Count() {
+		t.Fatalf("NewCounts len = %d, want %d", len(c), Count())
+	}
+	c.Add(PageFaultInNonpagedArea, 1)
+	c.Add(KernelDataInpageError, 2)
+	if got := c.Get(KernelDataInpageError); got != 2 {
+		t.Errorf("Get = %g, want 2", got)
+	}
+	if got := c.Total(); got != 3 {
+		t.Errorf("Total = %g, want 3", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !NTFSFileSystem.Valid() {
+		t.Error("NTFS code should be valid")
+	}
+	if Code(0x1).Valid() {
+		t.Error("0x1 should be invalid")
+	}
+}

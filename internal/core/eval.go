@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/ml/metrics"
+)
+
+// Evaluation bundles the paper's Section IV metrics for one test set,
+// at both sample and drive granularity.
+type Evaluation struct {
+	// Confusion is the per-sample confusion matrix at threshold 0.5.
+	Confusion metrics.Confusion
+	// AUC is the per-sample area under the ROC curve.
+	AUC float64
+	// DriveConfusion aggregates per drive: a drive counts as predicted
+	// faulty when more than half of its test samples are flagged.
+	DriveConfusion metrics.Confusion
+}
+
+// TPR returns the per-sample true positive rate.
+func (e *Evaluation) TPR() float64 { return e.Confusion.TPR() }
+
+// FPR returns the per-sample false positive rate.
+func (e *Evaluation) FPR() float64 { return e.Confusion.FPR() }
+
+// Accuracy returns the per-sample accuracy.
+func (e *Evaluation) Accuracy() float64 { return e.Confusion.Accuracy() }
+
+// PDR returns the per-sample positive detection rate.
+func (e *Evaluation) PDR() float64 { return e.Confusion.PDR() }
+
+// EvaluateSamples scores every sample at the conventional 0.5
+// threshold and aggregates at both granularities.
+func EvaluateSamples(clf ml.Classifier, samples []ml.Sample) Evaluation {
+	return EvaluateSamplesAt(clf, samples, 0.5)
+}
+
+// EvaluateSamplesAt scores every sample at the given decision threshold
+// and aggregates at both granularities.
+func EvaluateSamplesAt(clf ml.Classifier, samples []ml.Sample, threshold float64) Evaluation {
+	var ev Evaluation
+	scores := make([]float64, len(samples))
+	labels := make([]int, len(samples))
+
+	type driveAgg struct {
+		flagged, total int
+		y              int
+	}
+	drives := make(map[string]*driveAgg)
+
+	for i := range samples {
+		p := clf.PredictProba(samples[i].X)
+		scores[i] = p
+		labels[i] = samples[i].Y
+		pred := 0
+		if p >= threshold {
+			pred = 1
+		}
+		ev.Confusion.Add(pred, samples[i].Y)
+
+		agg := drives[samples[i].SN]
+		if agg == nil {
+			agg = &driveAgg{}
+			drives[samples[i].SN] = agg
+		}
+		agg.total++
+		agg.flagged += pred
+		if samples[i].Y == 1 {
+			agg.y = 1
+		}
+	}
+	ev.AUC = metrics.AUC(metrics.ROCFromScores(scores, labels))
+	for _, agg := range drives {
+		pred := 0
+		if float64(agg.flagged) > float64(agg.total)/2 {
+			pred = 1
+		}
+		ev.DriveConfusion.Add(pred, agg.y)
+	}
+	return ev
+}
+
+// Predict scores one feature vector with the trained model.
+func (m *Model) Predict(x []float64) float64 { return m.Classifier.PredictProba(x) }
+
+// Evaluate scores an arbitrary sample set with the trained model.
+func (m *Model) Evaluate(samples []ml.Sample) Evaluation {
+	return EvaluateSamplesAt(m.Classifier, samples, m.Threshold)
+}
+
+// EvaluateRange evaluates only the samples with fromDay ≤ Day ≤ toDay —
+// the walk-forward primitive behind the Figs. 12/16 time-period study.
+func (m *Model) EvaluateRange(samples []ml.Sample, fromDay, toDay int) Evaluation {
+	var window []ml.Sample
+	for i := range samples {
+		if samples[i].Day >= fromDay && samples[i].Day <= toDay {
+			window = append(window, samples[i])
+		}
+	}
+	return EvaluateSamplesAt(m.Classifier, window, m.Threshold)
+}
+
+// MonthlyEvaluation is one month of a walk-forward study.
+type MonthlyEvaluation struct {
+	Month    int // 1-based month index after the training window
+	FromDay  int
+	ToDay    int
+	Eval     Evaluation
+	Positive int
+	Negative int
+}
+
+// WalkForward evaluates the model month by month after its training
+// window without re-training, as in the paper's five-month portability
+// study. monthDays is the month length (30 in the paper's framing).
+func (m *Model) WalkForward(samples []ml.Sample, monthDays, months int) []MonthlyEvaluation {
+	out := make([]MonthlyEvaluation, 0, months)
+	for month := 1; month <= months; month++ {
+		from := m.TrainEndDay + 1 + (month-1)*monthDays
+		to := m.TrainEndDay + month*monthDays
+		var window []ml.Sample
+		for i := range samples {
+			if samples[i].Day >= from && samples[i].Day <= to {
+				window = append(window, samples[i])
+			}
+		}
+		if len(window) == 0 {
+			continue
+		}
+		neg, pos := ml.ClassCounts(window)
+		out = append(out, MonthlyEvaluation{
+			Month:    month,
+			FromDay:  from,
+			ToDay:    to,
+			Eval:     EvaluateSamplesAt(m.Classifier, window, m.Threshold),
+			Positive: pos,
+			Negative: neg,
+		})
+	}
+	return out
+}
+
+// Youden returns the TPR−FPR Youden index of an evaluation, a single
+// scalar for ablation comparisons; NaN-safe (missing classes yield 0).
+func (e *Evaluation) Youden() float64 {
+	t, f := e.TPR(), e.FPR()
+	if math.IsNaN(t) {
+		t = 0
+	}
+	if math.IsNaN(f) {
+		f = 0
+	}
+	return t - f
+}

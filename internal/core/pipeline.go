@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/labeling"
+	"repro/internal/ml"
+	"repro/internal/ml/metrics"
+	"repro/internal/sampling"
+	"repro/internal/ticket"
+)
+
+// Prepared is the output of the preprocessing stages: a cleaned,
+// cumulated, vendor-filtered dataset with resolved failure labels and a
+// fitted extractor — everything model training consumes. Preparing once
+// and training several models on it is the normal experiment flow.
+type Prepared struct {
+	Config     Config
+	Data       *dataset.Dataset
+	Labels     labeling.Labels
+	Extractor  *features.Extractor
+	CleanStats dataset.CleanStats
+	LabelStats labeling.Stats
+	// Timing of the preprocessing stages (the Fig. 20 overhead rows).
+	CleanTime   time.Duration
+	LabelTime   time.Duration
+	RecordCount int
+}
+
+// Prepare runs MFPA's data stages: vendor filter → discontinuity
+// optimisation → cumulative W/B transform → failure-time
+// identification → extractor construction.
+func Prepare(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Prepared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	if cfg.Vendor != "" {
+		data = data.Filter(func(s *dataset.DriveSeries) bool { return s.Vendor == cfg.Vendor })
+		if data.Drives() == 0 {
+			return nil, fmt.Errorf("core: no drives for vendor %q", cfg.Vendor)
+		}
+	}
+
+	p := &Prepared{Config: cfg}
+	start := time.Now()
+	if cfg.SkipClean {
+		// Ablation path: keep gaps; work on a private copy because
+		// Cumulate mutates records in place.
+		p.Data = data.Clone()
+	} else {
+		cleaned, stats, err := dataset.CleanDiscontinuity(data, cfg.GapPolicy)
+		if err != nil {
+			return nil, err
+		}
+		p.Data = cleaned
+		p.CleanStats = stats
+	}
+	if !cfg.SkipCumulate {
+		dataset.Cumulate(p.Data)
+	}
+	p.CleanTime = time.Since(start)
+	p.RecordCount = p.Data.Len()
+
+	start = time.Now()
+	labels, err := labeling.Identify(p.Data, tickets, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	p.Labels = labels
+	p.LabelStats = labeling.Summarise(labels)
+	p.LabelTime = time.Since(start)
+
+	ext, err := features.NewExtractor(cfg.Group, cfg.Registries)
+	if err != nil {
+		return nil, err
+	}
+	p.Extractor = ext
+	return p, nil
+}
+
+// BuildSamples extracts the labelled samples appropriate for the
+// configured algorithm (flat, or sequence-shaped for CNN_LSTM).
+func (p *Prepared) BuildSamples() ([]ml.Sample, error) {
+	opts := features.DefaultBuildOptions()
+	opts.PositiveWindowDays = p.Config.PositiveWindowDays
+	if p.Config.Algorithm.Sequential() {
+		return features.BuildSeqSamples(p.Data, p.Labels, p.Extractor, p.Config.SeqLen, opts)
+	}
+	return features.BuildSamples(p.Data, p.Labels, p.Extractor, opts)
+}
+
+// Model is a trained MFPA failure predictor.
+type Model struct {
+	Config      Config
+	Classifier  ml.Classifier
+	TrainerName string
+	// TrainEndDay is the last day included in the learning window.
+	TrainEndDay int
+	// Width is the flat feature width; SeqLen*Width for CNN_LSTM input.
+	Width int
+	// Threshold is the calibrated decision threshold (0.5 when
+	// FixedThreshold is set).
+	Threshold float64
+}
+
+// TrainReport carries everything measured while training, including
+// the held-out evaluation and the per-stage overheads of Fig. 20.
+type TrainReport struct {
+	Prepared *Prepared
+	// TrainSamples/TestSamples are post-undersampling counts.
+	TrainSamples int
+	TestSamples  int
+	TrainPos     int
+	TestPos      int
+	// Eval is the held-out (chronologically later) evaluation.
+	Eval Evaluation
+	// Stage timings.
+	SampleTime time.Duration
+	TrainTime  time.Duration
+	EvalTime   time.Duration
+}
+
+// Train runs the modelling stages of MFPA on prepared data: sample
+// construction → timepoint segmentation → under-sampling → training →
+// held-out evaluation.
+func Train(p *Prepared, tests ...[]ml.Sample) (*Model, *TrainReport, error) {
+	cfg := p.Config
+	report := &TrainReport{Prepared: p}
+
+	start := time.Now()
+	samples, err := p.BuildSamples()
+	if err != nil {
+		return nil, nil, err
+	}
+	report.SampleTime = time.Since(start)
+
+	var train, test []ml.Sample
+	if cfg.RandomSegmentation {
+		train, test = sampling.RandomSplit(samples, 1-cfg.TrainFrac, cfg.Seed)
+	} else {
+		train, test = sampling.SplitFraction(samples, cfg.TrainFrac)
+	}
+	if len(tests) > 0 && tests[0] != nil {
+		test = tests[0]
+	}
+	trainFull := train
+	train, err = sampling.UnderSample(train, cfg.NegativeRatio, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ml.ValidateSamples(train, true); err != nil {
+		return nil, nil, fmt.Errorf("core: training set: %w", err)
+	}
+	report.TrainSamples = len(train)
+	report.TestSamples = len(test)
+	_, report.TrainPos = ml.ClassCounts(train)
+	_, report.TestPos = ml.ClassCounts(test)
+
+	width := p.Extractor.Width()
+	trainer, err := cfg.Algorithm.newTrainer(cfg.Seed, width, cfg.SeqLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	start = time.Now()
+	threshold := 0.5
+	if !cfg.FixedThreshold {
+		if t, err := calibrateThreshold(trainer, trainFull, cfg); err == nil {
+			threshold = t
+		}
+	}
+	clf, err := trainer.Train(train)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.TrainTime = time.Since(start)
+
+	m := &Model{
+		Config:      cfg,
+		Classifier:  clf,
+		TrainerName: trainer.Name(),
+		Width:       width,
+		Threshold:   threshold,
+	}
+	if len(train) > 0 {
+		last := 0
+		for i := range train {
+			if train[i].Day > last {
+				last = train[i].Day
+			}
+		}
+		m.TrainEndDay = last
+	}
+
+	start = time.Now()
+	if len(test) > 0 {
+		report.Eval = EvaluateSamplesAt(clf, test, threshold)
+	}
+	report.EvalTime = time.Since(start)
+	return m, report, nil
+}
+
+// calibrateThreshold picks the decision threshold on pooled time-series
+// cross-validation folds of the *full-prevalence* training window: each
+// fold's training part is under-sampled exactly as the final model's
+// is, but validation keeps the natural class balance so the FPR
+// estimate is trustworthy. The operating point is chosen without
+// touching test data.
+func calibrateThreshold(trainer ml.Trainer, trainFull []ml.Sample, cfg Config) (float64, error) {
+	folds, err := sampling.TimeSeriesCV(trainFull, cfg.CVFolds)
+	if err != nil {
+		return 0, err
+	}
+	var scores []float64
+	var labels []int
+	for _, fold := range folds {
+		tr, err := sampling.UnderSample(fold.Train, cfg.NegativeRatio, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		if !bothClasses(tr) || !bothClasses(fold.Val) {
+			continue
+		}
+		clf, err := trainer.Train(tr)
+		if err != nil {
+			return 0, err
+		}
+		for i := range fold.Val {
+			scores = append(scores, clf.PredictProba(fold.Val[i].X))
+			labels = append(labels, fold.Val[i].Y)
+		}
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("core: no usable calibration folds")
+	}
+	roc := metrics.ROCFromScores(scores, labels)
+	best, bestJ := 0.5, -1.0
+	for _, pt := range roc[1:] { // skip the +Inf corner
+		// Weighted Youden index: a false alarm triggers pointless data
+		// migration and service interruption (the paper's motivation
+		// for PDR), so FPR is penalised more strongly than missed
+		// detections are rewarded.
+		if j := pt.TPR - fprPenalty*pt.FPR; j > bestJ {
+			bestJ = j
+			best = pt.Threshold
+		}
+	}
+	return best, nil
+}
+
+// fprPenalty is the false-positive weight of the calibration criterion.
+const fprPenalty = 3
+
+func bothClasses(samples []ml.Sample) bool {
+	neg, pos := ml.ClassCounts(samples)
+	return neg > 0 && pos > 0
+}
+
+// TrainOnFleet is the one-call convenience: Prepare followed by Train.
+func TrainOnFleet(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Model, *TrainReport, error) {
+	p, err := Prepare(data, tickets, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Train(p)
+}

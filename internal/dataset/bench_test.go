@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDataset(b *testing.B, drives, days int) *Dataset {
+	b.Helper()
+	d := New()
+	for dr := 0; dr < drives; dr++ {
+		sn := fmt.Sprintf("D%04d", dr)
+		for day := 0; day < days; day += 1 + (dr+day)%3 {
+			r := rec(sn, day)
+			r.WCounts[0] = float64(day % 2)
+			if err := d.Append(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func BenchmarkCleanDiscontinuity(b *testing.B) {
+	d := benchDataset(b, 200, 120)
+	policy := DefaultGapPolicy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CleanDiscontinuity(d, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCumulate(b *testing.B) {
+	d := benchDataset(b, 200, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := d.Clone()
+		Cumulate(c)
+	}
+}

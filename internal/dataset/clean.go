@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/bsod"
+	"repro/internal/winevent"
+)
+
+// GapPolicy configures the discontinuity optimisation of the paper's
+// Section III-C(1): consumer machines are powered on irregularly, so
+// telemetry has day gaps that hurt model quality.
+type GapPolicy struct {
+	// DropGap removes a drive whose series contains an interval of
+	// DropGap days or more between consecutive observations (the paper
+	// uses 10).
+	DropGap int
+	// FillGap mean-fills intervals of up to FillGap days: for a gap of
+	// g days (g ≤ FillGap), g−1 synthetic records are inserted carrying
+	// the mean of the two adjacent observations (the paper uses 3).
+	FillGap int
+}
+
+// DefaultGapPolicy is the paper's configuration: drop ≥ 10, fill ≤ 3.
+func DefaultGapPolicy() GapPolicy { return GapPolicy{DropGap: 10, FillGap: 3} }
+
+// Validate checks the policy's internal consistency.
+func (p GapPolicy) Validate() error {
+	if p.DropGap < 2 {
+		return fmt.Errorf("dataset: gap policy DropGap %d must be ≥ 2", p.DropGap)
+	}
+	if p.FillGap < 1 {
+		return fmt.Errorf("dataset: gap policy FillGap %d must be ≥ 1", p.FillGap)
+	}
+	if p.FillGap >= p.DropGap {
+		return fmt.Errorf("dataset: gap policy FillGap %d must be < DropGap %d", p.FillGap, p.DropGap)
+	}
+	return nil
+}
+
+// CleanStats summarises what a CleanDiscontinuity pass did.
+type CleanStats struct {
+	DrivesIn      int
+	DrivesDropped int
+	RecordsIn     int
+	RecordsFilled int
+}
+
+// CleanDiscontinuity applies the discontinuity optimisation to d and
+// returns a new dataset plus statistics. Drives containing any interval
+// ≥ policy.DropGap are removed entirely; remaining intervals of
+// 2..policy.FillGap days are filled with synthetic records carrying the
+// mean of the adjacent observations (marked Interpolated). Intervals
+// between FillGap and DropGap are left as-is — the series survives but
+// keeps its hole, which is exactly the data-quality hazard the paper
+// notes for time-series models such as CNN_LSTM.
+func CleanDiscontinuity(d *Dataset, policy GapPolicy) (*Dataset, CleanStats, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, CleanStats{}, err
+	}
+	stats := CleanStats{DrivesIn: d.Drives(), RecordsIn: d.Len()}
+	out := New()
+	var err error
+	d.Each(func(s *DriveSeries) {
+		if err != nil {
+			return
+		}
+		if s.MaxGap() >= policy.DropGap {
+			stats.DrivesDropped++
+			return
+		}
+		filled, n := fillSeries(s, policy.FillGap)
+		stats.RecordsFilled += n
+		for _, r := range filled.Records {
+			if e := out.Append(r); e != nil {
+				err = e
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, CleanStats{}, err
+	}
+	return out, stats, nil
+}
+
+// fillSeries mean-fills gaps of at most fillGap days in s and returns
+// the filled series plus the number of records synthesised.
+func fillSeries(s *DriveSeries, fillGap int) (*DriveSeries, int) {
+	out := &DriveSeries{SerialNumber: s.SerialNumber, Vendor: s.Vendor, Model: s.Model}
+	filled := 0
+	for i := range s.Records {
+		if i > 0 {
+			prev := &s.Records[i-1]
+			cur := &s.Records[i]
+			gap := cur.Day - prev.Day
+			if gap >= 2 && gap <= fillGap {
+				for day := prev.Day + 1; day < cur.Day; day++ {
+					out.Records = append(out.Records, meanRecord(prev, cur, day))
+					filled++
+				}
+			}
+		}
+		out.Records = append(out.Records, s.Records[i].Clone())
+	}
+	return out, filled
+}
+
+// meanRecord synthesises the mean of two adjacent observations for the
+// missing day. Counts and SMART values are averaged element-wise; the
+// firmware version is carried from the earlier record (firmware cannot
+// change while the machine is off).
+func meanRecord(a, b *Record, day int) Record {
+	r := Record{
+		SerialNumber: a.SerialNumber,
+		Vendor:       a.Vendor,
+		Model:        a.Model,
+		Day:          day,
+		Firmware:     a.Firmware,
+		WCounts:      winevent.NewCounts(),
+		BCounts:      bsod.NewCounts(),
+		Interpolated: true,
+	}
+	for i := range r.Smart {
+		r.Smart[i] = (a.Smart[i] + b.Smart[i]) / 2
+	}
+	for i := range r.WCounts {
+		r.WCounts[i] = (a.WCounts[i] + b.WCounts[i]) / 2
+	}
+	for i := range r.BCounts {
+		r.BCounts[i] = (a.BCounts[i] + b.BCounts[i]) / 2
+	}
+	return r
+}
+
+// Cumulate converts the daily W and B counts of every series into
+// running per-drive totals, in place. The paper uses accumulated values
+// as model input because daily counts are too sparse to show trends.
+// Cumulate is idempotent only on fresh daily data; callers must not
+// apply it twice.
+func Cumulate(d *Dataset) {
+	d.Each(func(s *DriveSeries) {
+		for i := 1; i < len(s.Records); i++ {
+			prev, cur := &s.Records[i-1], &s.Records[i]
+			for j := range cur.WCounts {
+				cur.WCounts[j] += prev.WCounts[j]
+			}
+			for j := range cur.BCounts {
+				cur.BCounts[j] += prev.BCounts[j]
+			}
+		}
+	})
+}
+
+// GapHistogram tallies, over all drives, how many consecutive-record
+// intervals have each length in days (index = gap length; index 0 and 1
+// count zero- and one-day steps). Used by the Fig. 6 experiment to show
+// the discontinuity structure of CSS telemetry.
+func GapHistogram(d *Dataset, maxGap int) []int {
+	hist := make([]int, maxGap+1)
+	d.Each(func(s *DriveSeries) {
+		for i := 1; i < len(s.Records); i++ {
+			g := s.Records[i].Day - s.Records[i-1].Day
+			if g > maxGap {
+				g = maxGap
+			}
+			hist[g]++
+		}
+	})
+	return hist
+}

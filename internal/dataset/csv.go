@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/bsod"
+	"repro/internal/firmware"
+	"repro/internal/smartattr"
+	"repro/internal/winevent"
+)
+
+// The CSV layout is: sn, vendor, model, day, interpolated, firmware,
+// S_1..S_16, one column per catalogued Windows event, one per
+// catalogued stop code. Header names use the paper's compact labels.
+
+// Header returns the CSV column names in write order.
+func Header() []string {
+	h := []string{"sn", "vendor", "model", "day", "interpolated", "firmware"}
+	for id := smartattr.ID(1); id <= smartattr.Count; id++ {
+		h = append(h, id.Label())
+	}
+	for _, info := range winevent.All() {
+		h = append(h, info.ID.Label())
+	}
+	for _, info := range bsod.All() {
+		h = append(h, info.Code.Label())
+	}
+	return h
+}
+
+// WriteCSV writes the dataset to w, one row per record, drives in
+// insertion order.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header()); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	var err error
+	d.Each(func(s *DriveSeries) {
+		if err != nil {
+			return
+		}
+		for i := range s.Records {
+			if e := cw.Write(recordRow(&s.Records[i])); e != nil {
+				err = fmt.Errorf("dataset: write record: %w", e)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func recordRow(r *Record) []string {
+	row := make([]string, 0, 6+smartattr.Count+winevent.Count()+bsod.Count())
+	row = append(row,
+		r.SerialNumber,
+		r.Vendor,
+		r.Model,
+		strconv.Itoa(r.Day),
+		strconv.FormatBool(r.Interpolated),
+		string(r.Firmware),
+	)
+	for _, v := range r.Smart {
+		row = append(row, formatFloat(v))
+	}
+	for _, v := range r.WCounts {
+		row = append(row, formatFloat(v))
+	}
+	for _, v := range r.BCounts {
+		row = append(row, formatFloat(v))
+	}
+	return row
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header())
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	want := Header()
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	d := New()
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if err := d.Append(rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	rec := Record{
+		SerialNumber: row[0],
+		Vendor:       row[1],
+		Model:        row[2],
+		Firmware:     firmware.Version(row[5]),
+		WCounts:      winevent.NewCounts(),
+		BCounts:      bsod.NewCounts(),
+	}
+	day, err := strconv.Atoi(row[3])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad day %q: %w", row[3], err)
+	}
+	rec.Day = day
+	interp, err := strconv.ParseBool(row[4])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad interpolated flag %q: %w", row[4], err)
+	}
+	rec.Interpolated = interp
+
+	col := 6
+	for i := 0; i < smartattr.Count; i++ {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad SMART value %q: %w", row[col], err)
+		}
+		rec.Smart[i] = v
+		col++
+	}
+	for i := 0; i < winevent.Count(); i++ {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad W count %q: %w", row[col], err)
+		}
+		rec.WCounts[i] = v
+		col++
+	}
+	for i := 0; i < bsod.Count(); i++ {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad B count %q: %w", row[col], err)
+		}
+		rec.BCounts[i] = v
+		col++
+	}
+	return rec, nil
+}

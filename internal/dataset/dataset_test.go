@@ -1,0 +1,251 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/bsod"
+	"repro/internal/smartattr"
+	"repro/internal/winevent"
+)
+
+// rec builds a minimal valid record for drive sn on day.
+func rec(sn string, day int) Record {
+	r := Record{
+		SerialNumber: sn,
+		Vendor:       "I",
+		Model:        "M",
+		Day:          day,
+		Firmware:     "FW1",
+		WCounts:      winevent.NewCounts(),
+		BCounts:      bsod.NewCounts(),
+	}
+	r.Smart.Set(smartattr.PowerOnHours, float64(day*8))
+	return r
+}
+
+func mustAppend(t *testing.T, d *Dataset, r Record) {
+	t.Helper()
+	if err := d.Append(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendKeepsDayOrder(t *testing.T) {
+	d := New()
+	for _, day := range []int{5, 1, 3, 2, 4} {
+		mustAppend(t, d, rec("A", day))
+	}
+	s, ok := d.Series("A")
+	if !ok {
+		t.Fatal("series missing")
+	}
+	want := []int{1, 2, 3, 4, 5}
+	got := s.Days()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Days = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendReplacesSameDay(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 3))
+	r2 := rec("A", 3)
+	r2.Smart.Set(smartattr.MediaErrors, 9)
+	mustAppend(t, d, r2)
+	s, _ := d.Series("A")
+	if len(s.Records) != 1 {
+		t.Fatalf("len = %d, want 1 after same-day replace", len(s.Records))
+	}
+	if got := s.Records[0].Smart.Get(smartattr.MediaErrors); got != 9 {
+		t.Fatalf("replacement not applied: %g", got)
+	}
+}
+
+func TestAppendRejectsIdentityChange(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 1))
+	bad := rec("A", 2)
+	bad.Vendor = "II"
+	if err := d.Append(bad); err == nil {
+		t.Fatal("vendor change should be rejected")
+	}
+}
+
+func TestAppendValidates(t *testing.T) {
+	d := New()
+	bad := rec("", 1)
+	if err := d.Append(bad); err == nil {
+		t.Fatal("empty SN should be rejected")
+	}
+	bad2 := rec("A", -1)
+	if err := d.Append(bad2); err == nil {
+		t.Fatal("negative day should be rejected")
+	}
+	bad3 := rec("A", 1)
+	bad3.WCounts = bad3.WCounts[:2]
+	if err := d.Append(bad3); err == nil {
+		t.Fatal("short W vector should be rejected")
+	}
+}
+
+func TestSeriesQueries(t *testing.T) {
+	d := New()
+	for _, day := range []int{2, 5, 9} {
+		mustAppend(t, d, rec("A", day))
+	}
+	s, _ := d.Series("A")
+
+	if s.FirstDay() != 2 || s.LastDay() != 9 {
+		t.Fatalf("FirstDay/LastDay = %d/%d", s.FirstDay(), s.LastDay())
+	}
+	if s.MaxGap() != 4 {
+		t.Fatalf("MaxGap = %d, want 4", s.MaxGap())
+	}
+	if r, ok := s.At(5); !ok || r.Day != 5 {
+		t.Fatal("At(5) failed")
+	}
+	if _, ok := s.At(4); ok {
+		t.Fatal("At(4) should miss")
+	}
+	if r, ok := s.ClosestAtOrBefore(8); !ok || r.Day != 5 {
+		t.Fatal("ClosestAtOrBefore(8) should be day 5")
+	}
+	if _, ok := s.ClosestAtOrBefore(1); ok {
+		t.Fatal("ClosestAtOrBefore(1) should miss")
+	}
+	if r, ok := s.Closest(6); !ok || r.Day != 5 {
+		t.Fatalf("Closest(6) = %v", r.Day)
+	}
+	if r, ok := s.Closest(8); !ok || r.Day != 9 {
+		t.Fatalf("Closest(8) = %v", r.Day)
+	}
+	if r, ok := s.Closest(0); !ok || r.Day != 2 {
+		t.Fatalf("Closest(0) = %v", r.Day)
+	}
+	if r, ok := s.Closest(100); !ok || r.Day != 9 {
+		t.Fatalf("Closest(100) = %v", r.Day)
+	}
+
+	w := s.Window(3, 9)
+	if len(w) != 2 || w[0].Day != 5 || w[1].Day != 9 {
+		t.Fatalf("Window(3,9) = %v", len(w))
+	}
+	if got := s.Window(10, 20); len(got) != 0 {
+		t.Fatalf("empty window returned %d", len(got))
+	}
+}
+
+func TestClosestEmptySeries(t *testing.T) {
+	s := &DriveSeries{}
+	if _, ok := s.Closest(1); ok {
+		t.Fatal("Closest on empty series should miss")
+	}
+	if s.FirstDay() != -1 || s.LastDay() != -1 {
+		t.Fatal("empty series day bounds should be -1")
+	}
+}
+
+func TestDatasetAccounting(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 1))
+	mustAppend(t, d, rec("A", 2))
+	mustAppend(t, d, rec("B", 1))
+	if d.Drives() != 2 || d.Len() != 3 {
+		t.Fatalf("Drives/Len = %d/%d", d.Drives(), d.Len())
+	}
+	if got := d.SerialNumbers(); len(got) != 2 || got[0] != "A" {
+		t.Fatalf("SerialNumbers = %v", got)
+	}
+	min, max, ok := d.DayRange()
+	if !ok || min != 1 || max != 2 {
+		t.Fatalf("DayRange = %d..%d, %v", min, max, ok)
+	}
+	if !d.Remove("A") {
+		t.Fatal("Remove(A) failed")
+	}
+	if d.Remove("A") {
+		t.Fatal("second Remove(A) should fail")
+	}
+	if d.Drives() != 1 {
+		t.Fatal("drive count after remove")
+	}
+}
+
+func TestDayRangeEmpty(t *testing.T) {
+	if _, _, ok := New().DayRange(); ok {
+		t.Fatal("empty dataset should have no day range")
+	}
+}
+
+func TestFilterShares(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 1))
+	b := rec("B", 1)
+	b.Vendor = "II"
+	mustAppend(t, d, b)
+	only := d.Filter(func(s *DriveSeries) bool { return s.Vendor == "I" })
+	if only.Drives() != 1 {
+		t.Fatalf("filtered drives = %d", only.Drives())
+	}
+	if _, ok := only.Series("B"); ok {
+		t.Fatal("vendor II drive leaked through filter")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 1))
+	c := d.Clone()
+	s, _ := c.Series("A")
+	s.Records[0].WCounts[0] = 99
+	orig, _ := d.Series("A")
+	if orig.Records[0].WCounts[0] == 99 {
+		t.Fatal("Clone shares count vectors with the original")
+	}
+}
+
+func TestVendors(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 1))
+	b := rec("B", 1)
+	b.Vendor = "II"
+	mustAppend(t, d, b)
+	got := d.Vendors()
+	if len(got) != 2 || got[0] != "I" || got[1] != "II" {
+		t.Fatalf("Vendors = %v", got)
+	}
+}
+
+func TestEachOrder(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("B", 1))
+	mustAppend(t, d, rec("A", 1))
+	var order []string
+	d.Each(func(s *DriveSeries) { order = append(order, s.SerialNumber) })
+	if len(order) != 2 || order[0] != "B" || order[1] != "A" {
+		t.Fatalf("Each order = %v, want insertion order", order)
+	}
+}
+
+func TestUntil(t *testing.T) {
+	d := New()
+	mustAppend(t, d, rec("A", 1))
+	mustAppend(t, d, rec("A", 5))
+	mustAppend(t, d, rec("A", 9))
+	mustAppend(t, d, rec("B", 7))
+	cut := d.Until(5)
+	if cut.Drives() != 1 {
+		t.Fatalf("drives = %d, want 1 (B starts after the cut)", cut.Drives())
+	}
+	s, _ := cut.Series("A")
+	if len(s.Records) != 2 || s.LastDay() != 5 {
+		t.Fatalf("A after cut: %d records, last %d", len(s.Records), s.LastDay())
+	}
+	// The original is untouched.
+	orig, _ := d.Series("A")
+	if len(orig.Records) != 3 {
+		t.Fatal("Until mutated the source")
+	}
+}

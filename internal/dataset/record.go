@@ -1,0 +1,77 @@
+// Package dataset defines the telemetry records collected from
+// consumer SSDs and the dataset-level preprocessing the paper's MFPA
+// pipeline applies before modelling: gap analysis, discontinuity
+// optimisation (drop drives with intervals ≥ 10 days, mean-fill
+// intervals ≤ 3 days), and the cumulative transform of the daily
+// WindowsEvent/BSOD counters.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/bsod"
+	"repro/internal/firmware"
+	"repro/internal/smartattr"
+	"repro/internal/winevent"
+)
+
+// Interface is the drive interface of the studied population; the paper
+// studies M.2 (2280) NVMe drives on PCIe 3.0 x4 exclusively.
+const Interface = "PCIe 3.0x4"
+
+// Record is one telemetry observation of one drive on one day: the
+// tuple (S/N, model, timestamp, interface, capacity, S{1..16}, F,
+// W{1..i}, B{1..j}) of the paper's Section III-C.
+type Record struct {
+	// SerialNumber identifies the drive.
+	SerialNumber string
+	// Vendor is the drive manufacturer ("I".."IV" in the paper).
+	Vendor string
+	// Model is the drive model within the vendor.
+	Model string
+	// Day is the observation timestamp as a day index from the start
+	// of the collection window.
+	Day int
+	// Smart holds the 16 SMART attribute values of Table II.
+	Smart smartattr.Values
+	// Firmware is the raw vendor firmware version string; the feature
+	// layer label-encodes it.
+	Firmware firmware.Version
+	// WCounts holds the per-day counts of the Table III Windows
+	// events. After Dataset.Cumulate they hold running totals.
+	WCounts winevent.Counts
+	// BCounts holds the per-day counts of the Table IV stop codes.
+	// After Dataset.Cumulate they hold running totals.
+	BCounts bsod.Counts
+	// Interpolated marks records synthesised by the discontinuity
+	// optimisation (mean fill) rather than observed.
+	Interpolated bool
+}
+
+// CapacityGB returns the drive capacity recorded in the SMART vector.
+func (r *Record) CapacityGB() float64 { return r.Smart.Get(smartattr.Capacity) }
+
+// Clone returns a deep copy of the record (count vectors included).
+func (r *Record) Clone() Record {
+	c := *r
+	c.WCounts = append(winevent.Counts(nil), r.WCounts...)
+	c.BCounts = append(bsod.Counts(nil), r.BCounts...)
+	return c
+}
+
+// Validate performs basic sanity checks on a record.
+func (r *Record) Validate() error {
+	if r.SerialNumber == "" {
+		return fmt.Errorf("dataset: record has empty serial number")
+	}
+	if r.Day < 0 {
+		return fmt.Errorf("dataset: record %s has negative day %d", r.SerialNumber, r.Day)
+	}
+	if len(r.WCounts) != winevent.Count() {
+		return fmt.Errorf("dataset: record %s has %d W counters, want %d", r.SerialNumber, len(r.WCounts), winevent.Count())
+	}
+	if len(r.BCounts) != bsod.Count() {
+		return fmt.Errorf("dataset: record %s has %d B counters, want %d", r.SerialNumber, len(r.BCounts), bsod.Count())
+	}
+	return nil
+}

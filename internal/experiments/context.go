@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the simulated fleet: the RaSRF taxonomy
+// (Table I), the dataset summary (Table VI), the observation figures
+// (Figs. 2–6), the model studies (Figs. 9–19), and the overhead
+// breakdown (Fig. 20), plus the ablation studies DESIGN.md calls out.
+//
+// Each experiment returns a typed result whose String method renders
+// the same rows/series the paper reports, so `mfpareport` and the
+// benchmark harness print directly comparable output.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/firmware"
+	"repro/internal/ml"
+	"repro/internal/sampling"
+	"repro/internal/simfleet"
+)
+
+// Context owns the simulated fleets and caches the expensive shared
+// stages (preparation, sample building, splits) across experiments.
+type Context struct {
+	// Cfg is the fleet configuration of the headline experiments.
+	Cfg simfleet.Config
+	// Fleet is the simulated population.
+	Fleet *simfleet.Result
+
+	// Registries maps vendor name to its firmware ladder, for
+	// order-preserving label encoding.
+	Registries map[string]*firmware.Registry
+
+	driftFleet      *simfleet.Result
+	slowTicketFleet *simfleet.Result
+
+	prepCache   map[string]*core.Prepared
+	sampleCache map[string][]ml.Sample
+}
+
+// NewContext simulates the default experiment fleet. failureScale
+// trades statistical resolution for runtime (the report uses 0.2, unit
+// tests far less); seed fixes the fleet.
+func NewContext(failureScale float64, seed int64) (*Context, error) {
+	cfg := simfleet.DefaultConfig()
+	cfg.FailureScale = failureScale
+	cfg.Seed = seed
+	return NewContextWith(cfg)
+}
+
+// NewContextWith simulates a fleet from an explicit configuration.
+func NewContextWith(cfg simfleet.Config) (*Context, error) {
+	fleet, err := simfleet.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Context{
+		Cfg:         cfg,
+		Fleet:       fleet,
+		Registries:  make(map[string]*firmware.Registry),
+		prepCache:   make(map[string]*core.Prepared),
+		sampleCache: make(map[string][]ml.Sample),
+	}
+	for _, v := range fleet.Config.Vendors {
+		c.Registries[v.Name] = v.Firmware
+	}
+	return c, nil
+}
+
+// PipelineConfig returns the paper's best pipeline configuration for
+// one vendor, wired to this context's firmware registries.
+func (c *Context) PipelineConfig(vendor string, group features.Group) core.Config {
+	cfg := core.DefaultConfig(vendor)
+	cfg.Group = group
+	cfg.Registries = c.Registries
+	cfg.Seed = c.Cfg.Seed
+	return cfg
+}
+
+// Prepared returns (caching) the prepared pipeline for a vendor. All
+// feature groups share one preparation because cleaning and labelling
+// are group-independent; only extraction differs, and extractors are
+// cheap. The cache key includes the group because Prepared embeds its
+// extractor.
+func (c *Context) Prepared(vendor string, group features.Group) (*core.Prepared, error) {
+	key := vendor + "/" + group.String()
+	if p, ok := c.prepCache[key]; ok {
+		return p, nil
+	}
+	p, err := core.Prepare(c.Fleet.Data, c.Fleet.Tickets, c.PipelineConfig(vendor, group))
+	if err != nil {
+		return nil, err
+	}
+	c.prepCache[key] = p
+	return p, nil
+}
+
+// Samples returns (caching) the flat samples of a vendor/group pair.
+func (c *Context) Samples(vendor string, group features.Group) ([]ml.Sample, *core.Prepared, error) {
+	key := vendor + "/" + group.String()
+	p, err := c.Prepared(vendor, group)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, ok := c.sampleCache[key]; ok {
+		return s, p, nil
+	}
+	s, err := p.BuildSamples()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.sampleCache[key] = s
+	return s, p, nil
+}
+
+// Split returns the chronological train/test split of a vendor/group.
+func (c *Context) Split(vendor string, group features.Group) (train, test []ml.Sample, p *core.Prepared, err error) {
+	samples, p, err := c.Samples(vendor, group)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, test = sampling.SplitFraction(samples, p.Config.TrainFrac)
+	return train, test, p, nil
+}
+
+// DriftFleet simulates (once) the longer drifting fleet of the
+// Figs. 12/16 time-period study.
+func (c *Context) DriftFleet() (*simfleet.Result, error) {
+	if c.driftFleet != nil {
+		return c.driftFleet, nil
+	}
+	cfg := simfleet.DriftConfig()
+	cfg.FailureScale = c.Cfg.FailureScale
+	cfg.Seed = c.Cfg.Seed
+	fleet, err := simfleet.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.driftFleet = fleet
+	return fleet, nil
+}
+
+// VendorNames returns the simulated vendor names in spec order.
+func (c *Context) VendorNames() []string {
+	names := make([]string, 0, len(c.Fleet.Stats))
+	for _, s := range c.Fleet.Stats {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// primaryVendor is the vendor used by the single-vendor studies; the
+// paper uses vendor I (most failures, best-resolved metrics).
+const primaryVendor = "I"
+
+// Runner is a named experiment producing printable output.
+type Runner struct {
+	Name        string
+	Description string
+	Run         func(c *Context) (fmt.Stringer, error)
+}

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/sampling"
+)
+
+// MetricRow is one evaluated configuration with the paper's headline
+// metrics (Figs. 9–11, 13–16, 18 all share this shape).
+type MetricRow struct {
+	Name string
+	TPR  float64
+	FPR  float64
+	ACC  float64
+	AUC  float64
+	PDR  float64
+	// DriveTPR/DriveFPR aggregate per drive (majority vote).
+	DriveTPR float64
+	DriveFPR float64
+	// Threshold is the calibrated decision threshold used.
+	Threshold float64
+}
+
+func metricRow(name string, rep *core.TrainReport, m *core.Model) MetricRow {
+	return MetricRow{
+		Name:      name,
+		TPR:       rep.Eval.TPR(),
+		FPR:       rep.Eval.FPR(),
+		ACC:       rep.Eval.Accuracy(),
+		AUC:       rep.Eval.AUC,
+		PDR:       rep.Eval.PDR(),
+		DriveTPR:  rep.Eval.DriveConfusion.TPR(),
+		DriveFPR:  rep.Eval.DriveConfusion.FPR(),
+		Threshold: m.Threshold,
+	}
+}
+
+func renderMetricRows(title, nameHeader string, rows []MetricRow) string {
+	t := newTable(title, nameHeader, "TPR", "FPR", "ACC", "AUC", "PDR", "driveTPR", "driveFPR")
+	for _, r := range rows {
+		t.addRow(r.Name, f4(r.TPR), f4(r.FPR), f4(r.ACC), f4(r.AUC), f4(r.PDR), f4(r.DriveTPR), f4(r.DriveFPR))
+	}
+	return t.String()
+}
+
+// Fig9Result reproduces Figs. 9/13: MFPA across the seven feature
+// groups of Table V (RF, vendor I). The paper's headline: SFWB best at
+// 98.18% TPR / 0.56% FPR; S (the SMART baseline) trails on both axes.
+type Fig9Result struct {
+	Rows []MetricRow
+}
+
+// Fig9 trains one RF per feature group on vendor I.
+func (c *Context) Fig9() (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, g := range features.AllGroups() {
+		cfg := c.PipelineConfig(primaryVendor, g)
+		p, err := core.Prepare(c.Fleet.Data, c.Fleet.Tickets, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, rep, err := core.Train(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: group %s: %w", g, err)
+		}
+		res.Rows = append(res.Rows, metricRow(g.String(), rep, m))
+	}
+	return res, nil
+}
+
+// Row returns the metrics of one group, if present.
+func (r *Fig9Result) Row(group string) (MetricRow, bool) {
+	for _, row := range r.Rows {
+		if row.Name == group {
+			return row, true
+		}
+	}
+	return MetricRow{}, false
+}
+
+// String renders the comparison.
+func (r *Fig9Result) String() string {
+	return renderMetricRows("Fig 9+13: MFPA across feature groups (RF, vendor I)", "Group", r.Rows)
+}
+
+// Fig10Result reproduces Figs. 10/14: MFPA (SFWB, vendor I) across the
+// five ML algorithms. The paper: RF best; CNN_LSTM degraded by data
+// discontinuity.
+type Fig10Result struct {
+	Rows []MetricRow
+}
+
+// Fig10 trains each algorithm on the SFWB samples of vendor I.
+func (c *Context) Fig10() (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, algo := range core.Algorithms() {
+		cfg := c.PipelineConfig(primaryVendor, features.GroupSFWB)
+		cfg.Algorithm = algo
+		p, err := core.Prepare(c.Fleet.Data, c.Fleet.Tickets, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, rep, err := core.Train(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: algorithm %s: %w", algo, err)
+		}
+		res.Rows = append(res.Rows, metricRow(string(algo), rep, m))
+	}
+	return res, nil
+}
+
+// Row returns the metrics of one algorithm, if present.
+func (r *Fig10Result) Row(algo string) (MetricRow, bool) {
+	for _, row := range r.Rows {
+		if row.Name == algo {
+			return row, true
+		}
+	}
+	return MetricRow{}, false
+}
+
+// String renders the comparison.
+func (r *Fig10Result) String() string {
+	return renderMetricRows("Fig 10+14: MFPA across ML algorithms (SFWB, vendor I)", "Algorithm", r.Rows)
+}
+
+// Fig11Result reproduces Figs. 11/15: SFWB-based MFPA per vendor. The
+// paper: effective for vendors I–III (AUC ≈ 98.8 / 96.9 / 97.4), weak
+// for IV (too few faulty drives).
+type Fig11Result struct {
+	Rows []MetricRow
+	// Failures per vendor, for the "vendor IV has too few failures"
+	// explanation.
+	Failures map[string]int
+}
+
+// Fig11 trains one per-vendor model.
+func (c *Context) Fig11() (*Fig11Result, error) {
+	res := &Fig11Result{Failures: make(map[string]int)}
+	for _, st := range c.Fleet.Stats {
+		res.Failures[st.Name] = st.Failures
+		cfg := c.PipelineConfig(st.Name, features.GroupSFWB)
+		p, err := core.Prepare(c.Fleet.Data, c.Fleet.Tickets, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, rep, err := core.Train(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: vendor %s: %w", st.Name, err)
+		}
+		res.Rows = append(res.Rows, metricRow(st.Name, rep, m))
+	}
+	return res, nil
+}
+
+// Row returns one vendor's metrics, if present.
+func (r *Fig11Result) Row(vendor string) (MetricRow, bool) {
+	for _, row := range r.Rows {
+		if row.Name == vendor {
+			return row, true
+		}
+	}
+	return MetricRow{}, false
+}
+
+// String renders the comparison.
+func (r *Fig11Result) String() string {
+	t := newTable("Fig 11+15: MFPA across vendors (SFWB, RF)",
+		"Vendor", "Failures", "TPR", "FPR", "AUC", "driveTPR", "driveFPR")
+	for _, row := range r.Rows {
+		t.addRow(row.Name, fmt.Sprint(r.Failures[row.Name]), f4(row.TPR), f4(row.FPR),
+			f4(row.AUC), f4(row.DriveTPR), f4(row.DriveFPR))
+	}
+	return t.String()
+}
+
+// Fig12Result reproduces Figs. 12/16: continuous prediction for five
+// months without iteration on a fleet whose background Windows-event
+// rates drift. The paper: TPR stays stable while FPR rises by month
+// 2–3, motivating re-iteration every 2–3 months. IterMonths extends the
+// figure with that recommendation applied — the model retrained at each
+// month boundary — to show iteration actually repairs the FPR.
+type Fig12Result struct {
+	Months []core.MonthlyEvaluation
+	// IterMonths is the same walk-forward with monthly re-training.
+	IterMonths []core.MonthlyEvaluation
+	// TrainEndDay is when the learning window closed.
+	TrainEndDay int
+	// DriftStartDay is when the OS update began shifting the fleet.
+	DriftStartDay int
+}
+
+// Fig12 trains once on the drifting fleet's learning window and walks
+// forward five months, then repeats the walk with monthly iteration.
+func (c *Context) Fig12() (*Fig12Result, error) {
+	fleet, err := c.DriftFleet()
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.PipelineConfig(primaryVendor, features.GroupSFWB)
+	// Close the learning window around day 105 of the 270-day window,
+	// leaving five clean months of walk-forward evaluation.
+	cfg.TrainFrac = 0.4
+	p, err := core.Prepare(fleet.Data, fleet.Tickets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := p.BuildSamples()
+	if err != nil {
+		return nil, err
+	}
+	_, test := sampling.SplitFraction(samples, cfg.TrainFrac)
+	m, _, err := core.Train(p, test)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{
+		TrainEndDay:   m.TrainEndDay,
+		DriftStartDay: fleet.Config.DriftStartDay,
+	}
+	// Walk-forward selects by day internally, so passing the full
+	// sample set (not just the test split) keeps month boundaries exact.
+	res.Months = m.WalkForward(samples, 30, 5)
+
+	// Extension: apply the paper's recommendation — retrain at each
+	// month boundary on everything observed so far (strictly past-only
+	// data), keeping the original calibrated threshold so the series
+	// differ only by model freshness.
+	for _, mo := range res.Months {
+		var trainNow []ml.Sample
+		var window []ml.Sample
+		for i := range samples {
+			switch {
+			case samples[i].Day < mo.FromDay:
+				trainNow = append(trainNow, samples[i])
+			case samples[i].Day <= mo.ToDay:
+				window = append(window, samples[i])
+			}
+		}
+		if len(window) == 0 {
+			continue
+		}
+		trainUS, err := sampling.UnderSample(trainNow, p.Config.NegativeRatio, p.Config.Seed)
+		if err != nil {
+			return nil, err
+		}
+		clf, err := (&forest.Trainer{Trees: 100, MaxDepth: 12, Seed: p.Config.Seed}).Train(trainUS)
+		if err != nil {
+			return nil, err
+		}
+		neg, pos := ml.ClassCounts(window)
+		res.IterMonths = append(res.IterMonths, core.MonthlyEvaluation{
+			Month:    mo.Month,
+			FromDay:  mo.FromDay,
+			ToDay:    mo.ToDay,
+			Eval:     core.EvaluateSamplesAt(clf, window, m.Threshold),
+			Positive: pos,
+			Negative: neg,
+		})
+	}
+	return res, nil
+}
+
+// String renders both monthly series.
+func (r *Fig12Result) String() string {
+	t := newTable(fmt.Sprintf("Fig 12+16: 5-month prediction (train ends day %d, drift from day %d)",
+		r.TrainEndDay, r.DriftStartDay),
+		"Month", "Days", "Pos", "Neg", "TPR", "FPR", "AUC", "iterTPR", "iterFPR")
+	iter := make(map[int]core.MonthlyEvaluation, len(r.IterMonths))
+	for _, mo := range r.IterMonths {
+		iter[mo.Month] = mo
+	}
+	for _, mo := range r.Months {
+		iTPR, iFPR := "-", "-"
+		if im, ok := iter[mo.Month]; ok {
+			iTPR, iFPR = f4(im.Eval.TPR()), f4(im.Eval.FPR())
+		}
+		t.addRow(fmt.Sprint(mo.Month), fmt.Sprintf("%d-%d", mo.FromDay, mo.ToDay),
+			fmt.Sprint(mo.Positive), fmt.Sprint(mo.Negative),
+			f4(mo.Eval.TPR()), f4(mo.Eval.FPR()), f4(mo.Eval.AUC), iTPR, iFPR)
+	}
+	return t.String()
+}
+
+// FPRRise returns lastMonthFPR − firstMonthFPR, the drift-induced
+// degradation the paper reports.
+func (r *Fig12Result) FPRRise() float64 {
+	if len(r.Months) < 2 {
+		return 0
+	}
+	first := r.Months[0].Eval.FPR()
+	last := r.Months[len(r.Months)-1].Eval.FPR()
+	return last - first
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/svgplot"
+)
+
+// Figurer is implemented by experiment results that can render
+// themselves as SVG figures; mfpareport's -svg flag writes them out.
+type Figurer interface {
+	// Figures returns file-name (without extension) → SVG bytes.
+	Figures() (map[string][]byte, error)
+}
+
+// Figures renders Fig 2 as the bathtub histogram.
+func (r *Fig2Result) Figures() (map[string][]byte, error) {
+	labels := make([]string, len(r.Counts))
+	values := make([]float64, len(r.Counts))
+	for i, n := range r.Counts {
+		labels[i] = fmt.Sprintf("%.0fk", float64(i)*r.BucketHours/1000)
+		values[i] = float64(n)
+	}
+	chart := &svgplot.BarChart{
+		Title:  "Fig 2: Failure distribution over power-on hours",
+		XLabel: "Power-on hours",
+		YLabel: "Failures",
+		Labels: labels,
+		Groups: []svgplot.Series{{Name: "failures", Y: values}},
+	}
+	return renderOne("fig2_bathtub", chart.Render)
+}
+
+// Figures renders Fig 3 as per-release failure-rate bars.
+func (r *Fig3Result) Figures() (map[string][]byte, error) {
+	labels := make([]string, len(r.Rows))
+	values := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Label
+		values[i] = row.FailureRate
+	}
+	chart := &svgplot.BarChart{
+		Title:  "Fig 3: Failure rate by firmware version",
+		XLabel: "Release",
+		YLabel: "Failure rate",
+		Labels: labels,
+		Groups: []svgplot.Series{{Name: "rate", Y: values}},
+	}
+	return renderOne("fig3_firmware", chart.Render)
+}
+
+// Figures renders Figs 4/5 as cumulative trajectories.
+func (r *Fig45Result) Figures() (map[string][]byte, error) {
+	var series []svgplot.Series
+	add := func(prefix string, list []CumSeries) {
+		for i, cs := range list {
+			xs := make([]float64, len(cs.Values))
+			for j := range xs {
+				xs[j] = float64(j - len(cs.Values) + 1) // align ends at 0
+			}
+			series = append(series, svgplot.Series{
+				Name: fmt.Sprintf("%s%d", prefix, i+1),
+				X:    xs,
+				Y:    cs.Values,
+			})
+		}
+	}
+	add("F", r.Faulty)
+	add("N", r.Healthy)
+	name := "fig4_w161"
+	title := "Fig 4: Cumulative W_161 before failure"
+	if r.Metric == "B_50" {
+		name = "fig5_b50"
+		title = "Fig 5: Cumulative B_50 before failure"
+	}
+	chart := &svgplot.LineChart{
+		Title:  title,
+		XLabel: "Observations before failure/window end",
+		YLabel: "Cumulative " + r.Metric,
+		Series: series,
+	}
+	return renderOne(name, chart.Render)
+}
+
+// metricBars renders a metric-row set as TPR/FPR bar groups.
+func metricBars(name, title string, rows []MetricRow) (map[string][]byte, error) {
+	labels := make([]string, len(rows))
+	tpr := make([]float64, len(rows))
+	fpr := make([]float64, len(rows))
+	for i, row := range rows {
+		labels[i] = row.Name
+		tpr[i] = row.TPR
+		fpr[i] = row.FPR
+	}
+	chart := &svgplot.BarChart{
+		Title:  title,
+		XLabel: "Configuration",
+		YLabel: "Rate",
+		Labels: labels,
+		Groups: []svgplot.Series{
+			{Name: "TPR", Y: tpr},
+			{Name: "FPR", Y: fpr},
+		},
+	}
+	return renderOne(name, chart.Render)
+}
+
+// Figures renders Fig 9 as grouped TPR/FPR bars.
+func (r *Fig9Result) Figures() (map[string][]byte, error) {
+	return metricBars("fig9_groups", "Fig 9: MFPA across feature groups", r.Rows)
+}
+
+// Figures renders Fig 10 as grouped TPR/FPR bars.
+func (r *Fig10Result) Figures() (map[string][]byte, error) {
+	return metricBars("fig10_algorithms", "Fig 10: MFPA across ML algorithms", r.Rows)
+}
+
+// Figures renders Fig 11 as grouped TPR/FPR bars.
+func (r *Fig11Result) Figures() (map[string][]byte, error) {
+	return metricBars("fig11_vendors", "Fig 11: MFPA across vendors", r.Rows)
+}
+
+// Figures renders Fig 12 as the monthly TPR/FPR lines, with and
+// without iteration.
+func (r *Fig12Result) Figures() (map[string][]byte, error) {
+	var months, tpr, fpr []float64
+	for _, mo := range r.Months {
+		months = append(months, float64(mo.Month))
+		tpr = append(tpr, mo.Eval.TPR())
+		fpr = append(fpr, mo.Eval.FPR())
+	}
+	series := []svgplot.Series{
+		{Name: "TPR (no iteration)", X: months, Y: tpr},
+		{Name: "FPR (no iteration)", X: months, Y: fpr},
+	}
+	if len(r.IterMonths) > 0 {
+		var im, ifpr []float64
+		for _, mo := range r.IterMonths {
+			im = append(im, float64(mo.Month))
+			ifpr = append(ifpr, mo.Eval.FPR())
+		}
+		series = append(series, svgplot.Series{Name: "FPR (monthly iteration)", X: im, Y: ifpr})
+	}
+	chart := &svgplot.LineChart{
+		Title:  "Fig 12: Five months without iteration",
+		XLabel: "Month after training",
+		YLabel: "Rate",
+		Series: series,
+	}
+	return renderOne("fig12_months", chart.Render)
+}
+
+// Figures renders Fig 17's selection trajectory.
+func (r *Fig17Result) Figures() (map[string][]byte, error) {
+	var xs, tpr, fpr, auc []float64
+	for i, s := range r.Steps {
+		xs = append(xs, float64(i+1))
+		tpr = append(tpr, s.TPR)
+		fpr = append(fpr, s.FPR)
+		auc = append(auc, s.AUC)
+	}
+	chart := &svgplot.LineChart{
+		Title:  "Fig 17: Sequential forward selection",
+		XLabel: "Features selected",
+		YLabel: "Rate",
+		Series: []svgplot.Series{
+			{Name: "TPR", X: xs, Y: tpr},
+			{Name: "FPR", X: xs, Y: fpr},
+			{Name: "AUC", X: xs, Y: auc},
+		},
+	}
+	return renderOne("fig17_sfs", chart.Render)
+}
+
+// Figures renders Fig 18 as grouped TPR/FPR bars.
+func (r *Fig18Result) Figures() (map[string][]byte, error) {
+	return metricBars("fig18_sota", "Fig 18: MFPA vs state-of-the-art", r.Rows)
+}
+
+// Figures renders Fig 19's lookahead decay.
+func (r *Fig19Result) Figures() (map[string][]byte, error) {
+	xs := make([]float64, len(r.Lookahead))
+	for i, n := range r.Lookahead {
+		xs[i] = float64(n)
+	}
+	chart := &svgplot.LineChart{
+		Title:  "Fig 19: TPR vs lookahead window",
+		XLabel: "Lookahead N (days)",
+		YLabel: "TPR",
+		Series: []svgplot.Series{{Name: "TPR", X: xs, Y: r.TPR}},
+		YMin:   0, YMax: 1,
+	}
+	return renderOne("fig19_lookahead", chart.Render)
+}
+
+func renderOne(name string, render func() ([]byte, error)) (map[string][]byte, error) {
+	data, err := render()
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{name: data}, nil
+}

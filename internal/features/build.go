@@ -1,0 +1,172 @@
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/labeling"
+	"repro/internal/ml"
+)
+
+// BuildOptions controls labelled-sample construction.
+type BuildOptions struct {
+	// PositiveWindowDays: records of a faulty drive within this many
+	// days before (and including) the labelled failure day become
+	// positive samples (the paper uses 7, 14, or 21).
+	PositiveWindowDays int
+	// NegativeFromFaulty, when set, also emits a faulty drive's records
+	// *older* than ExclusionDays before failure as negatives. The paper
+	// draws negatives from healthy drives only, so this defaults off.
+	NegativeFromFaulty bool
+	// ExclusionDays guards the label boundary: faulty-drive records in
+	// (failDay−PositiveWindowDays−ExclusionDays, failDay−PositiveWindowDays]
+	// are dropped entirely — they are too close to failure to be safe
+	// negatives but too early to be confident positives.
+	ExclusionDays int
+}
+
+// DefaultBuildOptions matches the paper: 7-day positive window,
+// negatives from healthy drives only, 7 guard days.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{PositiveWindowDays: 7, ExclusionDays: 7}
+}
+
+// BuildSamples constructs flat per-record samples from a cumulated,
+// cleaned dataset and its failure labels.
+func BuildSamples(data *dataset.Dataset, labels labeling.Labels, e *Extractor, opts BuildOptions) ([]ml.Sample, error) {
+	if opts.PositiveWindowDays < 1 {
+		return nil, fmt.Errorf("features: PositiveWindowDays %d must be ≥ 1", opts.PositiveWindowDays)
+	}
+	var samples []ml.Sample
+	data.Each(func(s *dataset.DriveSeries) {
+		label, faulty := labels[s.SerialNumber]
+		for i := range s.Records {
+			r := &s.Records[i]
+			var y int
+			switch {
+			case !faulty:
+				y = 0
+			case r.Day > label.FailDay:
+				// Post-failure stragglers (possible when the labelled
+				// day precedes the last log) are not trustworthy.
+				continue
+			case r.Day > label.FailDay-opts.PositiveWindowDays:
+				y = 1
+			case r.Day > label.FailDay-opts.PositiveWindowDays-opts.ExclusionDays:
+				continue // guard band
+			default:
+				if !opts.NegativeFromFaulty {
+					continue
+				}
+				y = 0
+			}
+			samples = append(samples, ml.Sample{
+				X:   e.Extract(r),
+				Y:   y,
+				SN:  s.SerialNumber,
+				Day: r.Day,
+			})
+		}
+	})
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("features: no samples produced")
+	}
+	return samples, nil
+}
+
+// BuildSeqSamples constructs sequence samples for the CNN_LSTM: sliding
+// windows of seqLen consecutive *records* per drive, flattened
+// time-major (X[t*width+f]). A window is positive when its final record
+// falls in the positive window. Because consumer telemetry is
+// discontinuous, the records inside a window may span far more calendar
+// days than seqLen — exactly the data-quality hazard the paper blames
+// for CNN_LSTM's weaker results.
+func BuildSeqSamples(data *dataset.Dataset, labels labeling.Labels, e *Extractor, seqLen int, opts BuildOptions) ([]ml.Sample, error) {
+	if seqLen < 1 {
+		return nil, fmt.Errorf("features: seqLen %d must be ≥ 1", seqLen)
+	}
+	if opts.PositiveWindowDays < 1 {
+		return nil, fmt.Errorf("features: PositiveWindowDays %d must be ≥ 1", opts.PositiveWindowDays)
+	}
+	width := e.Width()
+	var samples []ml.Sample
+	data.Each(func(s *dataset.DriveSeries) {
+		if len(s.Records) < seqLen {
+			return
+		}
+		label, faulty := labels[s.SerialNumber]
+		vecs := make([][]float64, len(s.Records))
+		for i := range s.Records {
+			vecs[i] = e.Extract(&s.Records[i])
+		}
+		for end := seqLen - 1; end < len(s.Records); end++ {
+			last := &s.Records[end]
+			var y int
+			switch {
+			case !faulty:
+				y = 0
+			case last.Day > label.FailDay:
+				continue
+			case last.Day > label.FailDay-opts.PositiveWindowDays:
+				y = 1
+			case last.Day > label.FailDay-opts.PositiveWindowDays-opts.ExclusionDays:
+				continue
+			default:
+				if !opts.NegativeFromFaulty {
+					continue
+				}
+				y = 0
+			}
+			x := make([]float64, seqLen*width)
+			for t := 0; t < seqLen; t++ {
+				copy(x[t*width:(t+1)*width], vecs[end-seqLen+1+t])
+			}
+			samples = append(samples, ml.Sample{
+				X:   x,
+				Y:   y,
+				SN:  s.SerialNumber,
+				Day: last.Day,
+			})
+		}
+	})
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("features: no sequence samples produced")
+	}
+	return samples, nil
+}
+
+// PositiveSamplesAt extracts one evaluation sample per faulty drive at
+// exactly lookahead days before its labelled failure (nearest record
+// within ±tolerance days). Used by the Fig. 19 lookahead sweep: can the
+// model already see the failure N days out?
+func PositiveSamplesAt(data *dataset.Dataset, labels labeling.Labels, e *Extractor, lookahead, tolerance int) []ml.Sample {
+	var samples []ml.Sample
+	for sn, label := range labels {
+		series, ok := data.Series(sn)
+		if !ok {
+			continue
+		}
+		target := label.FailDay - lookahead
+		if target < 0 {
+			continue
+		}
+		rec, ok := series.Closest(target)
+		if !ok {
+			continue
+		}
+		diff := rec.Day - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tolerance || rec.Day > label.FailDay {
+			continue
+		}
+		samples = append(samples, ml.Sample{
+			X:   e.Extract(rec),
+			Y:   1,
+			SN:  sn,
+			Day: rec.Day,
+		})
+	}
+	return samples
+}

@@ -1,0 +1,106 @@
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/bsod"
+	"repro/internal/dataset"
+	"repro/internal/firmware"
+	"repro/internal/smartattr"
+	"repro/internal/winevent"
+)
+
+// Extractor turns telemetry records into dense feature vectors for one
+// feature group. It owns the per-vendor firmware label encoders, so
+// encoding is stable across train and test extraction.
+type Extractor struct {
+	group    Group
+	encoders map[string]*firmware.Encoder
+	names    []string
+}
+
+// NewExtractor builds an extractor for group. registries supplies the
+// per-vendor firmware release ladders used for order-preserving label
+// encoding; vendors absent from the map fall back to first-seen-order
+// encoding.
+func NewExtractor(group Group, registries map[string]*firmware.Registry) (*Extractor, error) {
+	if group.Empty() {
+		return nil, fmt.Errorf("features: empty feature group")
+	}
+	e := &Extractor{
+		group:    group,
+		encoders: make(map[string]*firmware.Encoder),
+	}
+	for vendor, reg := range registries {
+		e.encoders[vendor] = firmware.NewEncoder(reg)
+	}
+	e.names = buildNames(group)
+	return e, nil
+}
+
+func buildNames(group Group) []string {
+	var names []string
+	if group.SMART {
+		for id := smartattr.ID(1); id <= smartattr.Count; id++ {
+			names = append(names, id.Label())
+		}
+	}
+	if group.Firmware {
+		names = append(names, "F")
+	}
+	if group.WEvents {
+		for _, info := range winevent.Selected() {
+			names = append(names, info.ID.Label())
+		}
+	}
+	if group.BSOD {
+		for _, info := range bsod.All() {
+			names = append(names, info.Code.Label())
+		}
+		names = append(names, "B_total")
+	}
+	return names
+}
+
+// Group returns the extractor's feature group.
+func (e *Extractor) Group() Group { return e.group }
+
+// Width returns the feature vector length.
+func (e *Extractor) Width() int { return len(e.names) }
+
+// Names returns the feature names in vector order. The slice is shared;
+// callers must not modify it.
+func (e *Extractor) Names() []string { return e.names }
+
+// encoder returns (creating if needed) the vendor's firmware encoder.
+func (e *Extractor) encoder(vendor string) *firmware.Encoder {
+	enc, ok := e.encoders[vendor]
+	if !ok {
+		enc = firmware.NewEncoder(nil)
+		e.encoders[vendor] = enc
+	}
+	return enc
+}
+
+// Extract builds the feature vector of r. The W and B counters are used
+// as stored — run dataset.Cumulate first to follow the paper's
+// accumulated-count preprocessing.
+func (e *Extractor) Extract(r *dataset.Record) []float64 {
+	x := make([]float64, 0, e.Width())
+	if e.group.SMART {
+		x = append(x, r.Smart[:]...)
+	}
+	if e.group.Firmware {
+		x = append(x, e.encoder(r.Vendor).Encode(r.Firmware))
+	}
+	if e.group.WEvents {
+		for _, info := range winevent.Selected() {
+			x = append(x, r.WCounts.Get(info.ID))
+		}
+	}
+	if e.group.BSOD {
+		x = append(x, r.BCounts...)
+		x = append(x, r.BCounts.Total())
+	}
+	return x
+}

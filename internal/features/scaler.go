@@ -1,0 +1,89 @@
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// Scaler is a per-feature z-score transform fitted on training data.
+// SMART counters span ten orders of magnitude (PowerOnHours vs
+// CriticalWarning), so margin- and distance-based models need this;
+// tree models are scale-invariant and can skip it.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler estimates per-feature mean and standard deviation.
+func FitScaler(samples []ml.Sample) (*Scaler, error) {
+	if err := ml.ValidateSamples(samples, false); err != nil {
+		return nil, err
+	}
+	width := len(samples[0].X)
+	s := &Scaler{Mean: make([]float64, width), Std: make([]float64, width)}
+	n := float64(len(samples))
+	for i := range samples {
+		for j, v := range samples[i].X {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for i := range samples {
+		for j, v := range samples[i].X {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns scaled copies of samples; inputs are not mutated.
+func (s *Scaler) Transform(samples []ml.Sample) ([]ml.Sample, error) {
+	out := make([]ml.Sample, len(samples))
+	for i := range samples {
+		if len(samples[i].X) != len(s.Mean) {
+			return nil, fmt.Errorf("features: sample width %d, scaler width %d", len(samples[i].X), len(s.Mean))
+		}
+		out[i] = samples[i]
+		x := make([]float64, len(samples[i].X))
+		for j, v := range samples[i].X {
+			x[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i].X = x
+	}
+	return out, nil
+}
+
+// TransformVec scales a single vector.
+func (s *Scaler) TransformVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// Mask restricts samples to the feature indexes in keep, in order —
+// the projection primitive used by sequential forward selection.
+func Mask(samples []ml.Sample, keep []int) []ml.Sample {
+	out := make([]ml.Sample, len(samples))
+	for i := range samples {
+		out[i] = samples[i]
+		x := make([]float64, len(keep))
+		for j, idx := range keep {
+			x[j] = samples[i].X[idx]
+		}
+		out[i].X = x
+	}
+	return out
+}

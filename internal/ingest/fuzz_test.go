@@ -1,0 +1,42 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEventCSV asserts the parser never panics and that whatever
+// it accepts has a sane shape, regardless of input bytes.
+func FuzzParseEventCSV(f *testing.F) {
+	f.Add(sampleCSV)
+	f.Add("")
+	f.Add("Level,Date and Time,Source,Event ID,Task Category\n")
+	f.Add("Error,3/4/2021 10:23:11 AM,disk,51,None\n")
+	f.Add(`Critical,3/5/2021 9:45:12 AM,BugCheck,1001,None,"bugcheck was: 0xDEAD"` + "\n")
+	f.Add("a,b\nc\n\"unterminated")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, skipped, err := ParseEventCSV(strings.NewReader(input))
+		if err != nil {
+			return // malformed CSV is a legal outcome
+		}
+		if skipped < 0 {
+			t.Fatal("negative skip count")
+		}
+		for _, ev := range events {
+			if ev.Time.IsZero() {
+				t.Fatal("accepted event with zero time")
+			}
+		}
+	})
+}
+
+// FuzzParseStopCode asserts total behaviour of the bug-check extractor.
+func FuzzParseStopCode(f *testing.F) {
+	f.Add("The bugcheck was: 0x00000050 (0x...)")
+	f.Add("0x")
+	f.Add("0xZZZ")
+	f.Add(strings.Repeat("0xffffffffffffffffffffffff", 3))
+	f.Fuzz(func(t *testing.T, msg string) {
+		_ = parseStopCode(msg) // must not panic
+	})
+}

@@ -1,0 +1,49 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func benchData(n int) []ml.Sample { return rings(n, 1) }
+
+func BenchmarkForestTrain(b *testing.B) {
+	train := benchData(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Trainer{Trees: 50, MaxDepth: 10, Seed: 1}).Train(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	train := benchData(2000)
+	clf, err := (&Trainer{Trees: 100, MaxDepth: 12, Seed: 1}).Train(train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := train[0].X
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.PredictProba(x)
+	}
+}
+
+func BenchmarkForestExplain(b *testing.B) {
+	train := benchData(2000)
+	clf, err := (&Trainer{Trees: 100, MaxDepth: 12, Seed: 1}).Train(train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := clf.(*Model)
+	x := train[0].X
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Explain(x)
+	}
+}

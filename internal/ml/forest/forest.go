@@ -1,0 +1,199 @@
+// Package forest implements a random forest of CART gini trees with
+// bootstrap bagging and per-split feature subsampling — the algorithm
+// the paper finds best for MFPA (98.18% TPR / 0.56% FPR with SFWB
+// features; "the tree-based model is superior to other models for
+// discontinuous data"). Trees are grown in parallel across goroutines.
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+)
+
+// Trainer configures random forest training.
+type Trainer struct {
+	// Trees is the ensemble size; 0 selects 100.
+	Trees int
+	// MaxDepth bounds each tree; 0 selects 12.
+	MaxDepth int
+	// MinSamplesLeaf is per-leaf minimum; 0 selects 1.
+	MinSamplesLeaf int
+	// MaxFeatures per split; 0 selects √width.
+	MaxFeatures int
+	// Seed drives bootstrap sampling and per-tree feature subsampling.
+	Seed int64
+	// Parallelism bounds the training goroutines; 0 selects GOMAXPROCS.
+	Parallelism int
+}
+
+// Name implements ml.Trainer.
+func (t *Trainer) Name() string { return "RF" }
+
+// Train implements ml.Trainer.
+func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
+	if err := ml.ValidateSamples(samples, false); err != nil {
+		return nil, err
+	}
+	nTrees := t.Trees
+	if nTrees == 0 {
+		nTrees = 100
+	}
+	maxFeatures := t.MaxFeatures
+	if maxFeatures == 0 {
+		maxFeatures = -1 // tree.Config: √width
+	}
+	workers := t.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i := range samples {
+		xs[i] = samples[i].X
+		ys[i] = float64(samples[i].Y)
+	}
+
+	// Pre-draw one bootstrap seed per tree from a master source so the
+	// result does not depend on goroutine scheduling.
+	master := rand.New(rand.NewSource(t.Seed + 101))
+	seeds := make([]int64, nTrees)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+
+	m := &Model{trees: make([]*tree.Classifier, nTrees)}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ti := 0; ti < nTrees; ti++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ti int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := rand.New(rand.NewSource(seeds[ti]))
+			bootXs := make([][]float64, len(xs))
+			bootYs := make([]float64, len(xs))
+			for i := range bootXs {
+				j := r.Intn(len(xs))
+				bootXs[i] = xs[j]
+				bootYs[i] = ys[j]
+			}
+			m.trees[ti] = tree.GrowClassifier(bootXs, bootYs, tree.Config{
+				MaxDepth:       t.MaxDepth,
+				MinSamplesLeaf: t.MinSamplesLeaf,
+				MaxFeatures:    maxFeatures,
+				Seed:           seeds[ti],
+			})
+		}(ti)
+	}
+	wg.Wait()
+	return m, nil
+}
+
+// Model is a fitted random forest.
+type Model struct {
+	trees []*tree.Classifier
+}
+
+// PredictProba implements ml.Classifier: the mean of the trees' leaf
+// probabilities.
+func (m *Model) PredictProba(x []float64) float64 {
+	var s float64
+	for _, t := range m.trees {
+		s += t.PredictProba(x)
+	}
+	return s / float64(len(m.trees))
+}
+
+// Size returns the ensemble size.
+func (m *Model) Size() int { return len(m.trees) }
+
+// FeatureImportance returns the normalised mean-decrease-in-impurity
+// importance of each feature across the ensemble. The vector sums to 1
+// (or is all-zero for stump-only forests).
+func (m *Model) FeatureImportance() []float64 {
+	if len(m.trees) == 0 {
+		return nil
+	}
+	var imp []float64
+	for _, t := range m.trees {
+		ti := t.FeatureImportance()
+		if imp == nil {
+			imp = make([]float64, len(ti))
+		}
+		for i, v := range ti {
+			imp[i] += v
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// Exported is the forest's serialisation form.
+type Exported struct {
+	Trees []tree.Exported
+}
+
+// Export returns the model's serialisation form.
+func (m *Model) Export() Exported {
+	out := Exported{Trees: make([]tree.Exported, len(m.trees))}
+	for i, t := range m.trees {
+		out.Trees[i] = t.Export()
+	}
+	return out
+}
+
+// Import reconstructs a forest from its serialisation form.
+func Import(e Exported) (*Model, error) {
+	if len(e.Trees) == 0 {
+		return nil, fmt.Errorf("forest: empty export")
+	}
+	m := &Model{trees: make([]*tree.Classifier, len(e.Trees))}
+	for i, te := range e.Trees {
+		t, err := tree.ImportClassifier(te)
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		m.trees[i] = t
+	}
+	return m, nil
+}
+
+// Explain returns the per-feature contributions for x averaged across
+// the ensemble, plus the mean bias. bias + Σ contributions equals
+// PredictProba(x) exactly, so the decomposition is faithful.
+func (m *Model) Explain(x []float64) (contributions []float64, bias float64) {
+	if len(m.trees) == 0 {
+		return nil, 0
+	}
+	var sum []float64
+	for _, t := range m.trees {
+		c, b := t.Explain(x)
+		if sum == nil {
+			sum = make([]float64, len(c))
+		}
+		for i, v := range c {
+			sum[i] += v
+		}
+		bias += b
+	}
+	n := float64(len(m.trees))
+	for i := range sum {
+		sum[i] /= n
+	}
+	return sum, bias / n
+}

@@ -1,0 +1,216 @@
+// Package gbdt implements gradient-boosted decision trees for binary
+// classification with logistic loss (Friedman's TreeBoost with Newton
+// leaf updates), one of the paper's five candidate algorithms.
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+)
+
+// Trainer configures boosting.
+type Trainer struct {
+	// Rounds is the number of boosting iterations; 0 selects 100.
+	Rounds int
+	// LearningRate shrinks each tree's contribution; 0 selects 0.1.
+	LearningRate float64
+	// MaxDepth bounds each regression tree; 0 selects 4.
+	MaxDepth int
+	// MinSamplesLeaf is per-leaf minimum; 0 selects 5.
+	MinSamplesLeaf int
+	// Subsample is the stochastic-gradient-boosting row fraction per
+	// round; 0 selects 1 (no subsampling).
+	Subsample float64
+	// Seed drives subsampling.
+	Seed int64
+}
+
+// Name implements ml.Trainer.
+func (t *Trainer) Name() string { return "GBDT" }
+
+// Train implements ml.Trainer.
+func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
+	if err := ml.ValidateSamples(samples, true); err != nil {
+		return nil, err
+	}
+	rounds := t.Rounds
+	if rounds == 0 {
+		rounds = 100
+	}
+	lr := t.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 4
+	}
+	minLeaf := t.MinSamplesLeaf
+	if minLeaf == 0 {
+		minLeaf = 5
+	}
+	sub := t.Subsample
+	if sub == 0 {
+		sub = 1
+	}
+
+	n := len(samples)
+	xs := make([][]float64, n)
+	ys := make([]float64, n) // {0,1}
+	for i := range samples {
+		xs[i] = samples[i].X
+		ys[i] = float64(samples[i].Y)
+	}
+
+	// F0 = log-odds of the base rate.
+	pos := 0.0
+	for _, y := range ys {
+		pos += y
+	}
+	p0 := clampP(pos / float64(n))
+	m := &Model{bias: math.Log(p0 / (1 - p0)), lr: lr}
+
+	f := make([]float64, n) // current raw scores
+	for i := range f {
+		f[i] = m.bias
+	}
+	grad := make([]float64, n)
+	r := rand.New(rand.NewSource(t.Seed + 7))
+
+	for round := 0; round < rounds; round++ {
+		// Negative gradient of logistic loss: y − p.
+		for i := range grad {
+			grad[i] = ys[i] - sigmoid(f[i])
+		}
+		rowXs, rowIdx := xs, allIdx(n)
+		if sub < 1 {
+			k := int(sub * float64(n))
+			if k < 2 {
+				k = 2
+			}
+			perm := r.Perm(n)[:k]
+			rowXs = make([][]float64, k)
+			rowIdx = perm
+			for j, i := range perm {
+				rowXs[j] = xs[i]
+			}
+		}
+		rowGrad := make([]float64, len(rowIdx))
+		for j, i := range rowIdx {
+			rowGrad[j] = grad[i]
+		}
+		tr := tree.GrowRegressor(rowXs, rowGrad, tree.Config{
+			MaxDepth:       maxDepth,
+			MinSamplesLeaf: minLeaf,
+			Seed:           t.Seed + int64(round)*9973,
+		})
+
+		// Newton leaf values: γ = Σ(y−p) / Σ p(1−p) over leaf members.
+		nl := tr.NumLeaves()
+		num := make([]float64, nl)
+		den := make([]float64, nl)
+		for j, i := range rowIdx {
+			leaf := tr.Apply(xs[i])
+			p := sigmoid(f[i])
+			num[leaf] += rowGrad[j]
+			den[leaf] += p * (1 - p)
+		}
+		for leaf := 0; leaf < nl; leaf++ {
+			gamma := 0.0
+			if den[leaf] > 1e-12 {
+				gamma = num[leaf] / den[leaf]
+			}
+			// Clip extreme Newton steps for numerical stability.
+			if gamma > 4 {
+				gamma = 4
+			} else if gamma < -4 {
+				gamma = -4
+			}
+			tr.SetLeafValue(leaf, gamma)
+		}
+		m.trees = append(m.trees, tr)
+		for i := range f {
+			f[i] += lr * tr.Predict(xs[i])
+		}
+	}
+	return m, nil
+}
+
+// Model is a fitted gradient-boosted ensemble.
+type Model struct {
+	bias  float64
+	lr    float64
+	trees []*tree.Regressor
+}
+
+// RawScore returns the additive log-odds score of x.
+func (m *Model) RawScore(x []float64) float64 {
+	s := m.bias
+	for _, t := range m.trees {
+		s += m.lr * t.Predict(x)
+	}
+	return s
+}
+
+// PredictProba implements ml.Classifier.
+func (m *Model) PredictProba(x []float64) float64 { return sigmoid(m.RawScore(x)) }
+
+// Rounds returns the number of boosted trees.
+func (m *Model) Rounds() int { return len(m.trees) }
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func clampP(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Exported is the ensemble's serialisation form.
+type Exported struct {
+	Bias         float64
+	LearningRate float64
+	Trees        []tree.Exported
+}
+
+// Export returns the model's serialisation form.
+func (m *Model) Export() Exported {
+	e := Exported{Bias: m.bias, LearningRate: m.lr, Trees: make([]tree.Exported, len(m.trees))}
+	for i, t := range m.trees {
+		e.Trees[i] = t.Export()
+	}
+	return e
+}
+
+// Import reconstructs an ensemble from its serialisation form.
+func Import(e Exported) (*Model, error) {
+	if e.LearningRate <= 0 {
+		return nil, fmt.Errorf("gbdt: non-positive learning rate in export")
+	}
+	m := &Model{bias: e.Bias, lr: e.LearningRate, trees: make([]*tree.Regressor, len(e.Trees))}
+	for i, te := range e.Trees {
+		t, err := tree.ImportRegressor(te)
+		if err != nil {
+			return nil, fmt.Errorf("gbdt: tree %d: %w", i, err)
+		}
+		m.trees[i] = t
+	}
+	return m, nil
+}

@@ -1,0 +1,22 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkROCFromScores(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 100000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Intn(2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AUC(ROCFromScores(scores, labels))
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCIShrinksWithSampleSize(t *testing.T) {
+	mk := func(n int, seed int64) ([]float64, []int) {
+		r := rand.New(rand.NewSource(seed))
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			labels[i] = r.Intn(2)
+			// 90%-accurate scorer.
+			if r.Float64() < 0.9 {
+				scores[i] = float64(labels[i])
+			} else {
+				scores[i] = float64(1 - labels[i])
+			}
+		}
+		return scores, labels
+	}
+	tpr := func(c Confusion) float64 { return c.TPR() }
+
+	sSmall, lSmall := mk(30, 1)
+	loS, hiS, err := BootstrapCI(sSmall, lSmall, 0.5, tpr, 300, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, lBig := mk(3000, 2)
+	loB, hiB, err := BootstrapCI(sBig, lBig, 0.5, tpr, 300, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiS-loS <= hiB-loB {
+		t.Fatalf("CI did not shrink: small %g, big %g", hiS-loS, hiB-loB)
+	}
+	// Both intervals cover the true 0.9.
+	if loB > 0.9 || hiB < 0.9 {
+		t.Fatalf("big-sample CI [%g, %g] misses 0.9", loB, hiB)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	scores := []float64{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	labels := []int{1, 0, 1, 0, 0, 1, 1, 0, 1, 1}
+	tpr := func(c Confusion) float64 { return c.TPR() }
+	lo1, hi1, _ := BootstrapCI(scores, labels, 0.5, tpr, 100, 0.9, 7)
+	lo2, hi2, _ := BootstrapCI(scores, labels, 0.5, tpr, 100, 0.9, 7)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("same seed produced different intervals")
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	tpr := func(c Confusion) float64 { return c.TPR() }
+	if _, _, err := BootstrapCI([]float64{1}, []int{1, 0}, 0.5, tpr, 100, 0.9, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := BootstrapCI(nil, nil, 0.5, tpr, 100, 0.9, 1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, []int{1}, 0.5, tpr, 5, 0.9, 1); err == nil {
+		t.Error("too few iters accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, []int{1}, 0.5, tpr, 100, 1.5, 1); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %g", q)
+	}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Fatalf("q0.5 = %g", q)
+	}
+	if q := quantile([]float64{7}, 0.3); q != 7 {
+		t.Fatalf("single-element quantile = %g", q)
+	}
+}

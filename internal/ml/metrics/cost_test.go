@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCostModelValidate(t *testing.T) {
+	good := CostModel{MissCost: 100, FalseAlarmCost: 2, TruePositiveCost: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CostModel{
+		{},
+		{MissCost: 100, FalseAlarmCost: -1},
+		{MissCost: 10, TruePositiveCost: 10},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestExpectedCost(t *testing.T) {
+	m := CostModel{MissCost: 100, FalseAlarmCost: 2, TruePositiveCost: 5}
+	c := Confusion{TP: 3, FP: 4, FN: 2, TN: 91}
+	want := 2.0*100 + 4*2 + 3*5
+	if got := m.Expected(c); got != want {
+		t.Fatalf("Expected = %g, want %g", got, want)
+	}
+}
+
+// informativeROC builds a ROC from a scorer whose score separates the
+// classes with some overlap.
+func informativeROC(t *testing.T) ([]ROCPoint, int, int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	pos := 0
+	for i := range scores {
+		if r.Float64() < 0.05 {
+			labels[i] = 1
+			pos++
+			scores[i] = 0.6 + 0.4*r.Float64() - 0.3*r.Float64()
+		} else {
+			scores[i] = 0.4 * r.Float64()
+		}
+	}
+	return ROCFromScores(scores, labels), pos, n - pos
+}
+
+func TestOptimalThresholdMovesWithCosts(t *testing.T) {
+	roc, pos, neg := informativeROC(t)
+	missHeavy := CostModel{MissCost: 1000, FalseAlarmCost: 1, TruePositiveCost: 1}
+	alarmHeavy := CostModel{MissCost: 10, FalseAlarmCost: 8, TruePositiveCost: 1}
+
+	tMiss, cMiss, err := missHeavy.OptimalThreshold(roc, pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tAlarm, cAlarm, err := alarmHeavy.OptimalThreshold(roc, pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expensive misses push the threshold down (flag more); expensive
+	// false alarms push it up.
+	if !(tMiss < tAlarm) {
+		t.Fatalf("thresholds did not order by cost: miss-heavy %g, alarm-heavy %g", tMiss, tAlarm)
+	}
+	if cMiss <= 0 || cAlarm <= 0 {
+		t.Fatalf("degenerate optimal costs %g, %g", cMiss, cAlarm)
+	}
+}
+
+func TestOptimalThresholdBeatsFixedPoint(t *testing.T) {
+	roc, pos, neg := informativeROC(t)
+	m := CostModel{MissCost: 50, FalseAlarmCost: 2, TruePositiveCost: 1}
+	_, best, err := m.OptimalThreshold(roc, pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum can be no worse than any particular curve point.
+	for _, pt := range roc {
+		tp := pt.TPR * float64(pos)
+		fp := pt.FPR * float64(neg)
+		c := (float64(pos)-tp)*m.MissCost + fp*m.FalseAlarmCost + tp*m.TruePositiveCost
+		if best > c+1e-9 {
+			t.Fatalf("optimal cost %g worse than curve point %g", best, c)
+		}
+	}
+}
+
+func TestOptimalThresholdErrors(t *testing.T) {
+	m := CostModel{MissCost: 10, FalseAlarmCost: 1}
+	if _, _, err := m.OptimalThreshold(nil, 1, 1); err == nil {
+		t.Error("empty ROC accepted")
+	}
+	if _, _, err := m.OptimalThreshold([]ROCPoint{{}}, 0, 0); err == nil {
+		t.Error("empty population accepted")
+	}
+	bad := CostModel{}
+	if _, _, err := bad.OptimalThreshold([]ROCPoint{{}}, 1, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestNeverFlagCorner(t *testing.T) {
+	// When false alarms cost more than misses save, the optimum is the
+	// (0,0) corner — never flag.
+	roc := []ROCPoint{
+		{Threshold: math.Inf(1), TPR: 0, FPR: 0},
+		{Threshold: 0.5, TPR: 0.5, FPR: 0.5},
+	}
+	m := CostModel{MissCost: 1, FalseAlarmCost: 100, TruePositiveCost: 0.5}
+	thr, _, err := m.OptimalThreshold(roc, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(thr, 1) {
+		t.Fatalf("threshold = %g, want +Inf (never flag)", thr)
+	}
+}

@@ -1,0 +1,247 @@
+// Package metrics implements the evaluation metrics of the paper's
+// Section IV: the confusion matrix, accuracy, true/false positive
+// rates, the newly introduced positive detection rate (PDR), and the
+// ROC curve with its AUC.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add records one (prediction, truth) pair.
+func (c *Confusion) Add(predicted, actual int) {
+	switch {
+	case predicted == 1 && actual == 1:
+		c.TP++
+	case predicted == 1 && actual == 0:
+		c.FP++
+	case predicted == 0 && actual == 1:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded cases.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.FN + c.TN }
+
+// Accuracy is (TP+TN) / all cases; NaN when empty.
+func (c *Confusion) Accuracy() float64 {
+	return ratio(float64(c.TP+c.TN), float64(c.Total()))
+}
+
+// TPR is TP / (TP+FN), the proportion of faulty cases correctly
+// predicted; NaN when there are no positives.
+func (c *Confusion) TPR() float64 {
+	return ratio(float64(c.TP), float64(c.TP+c.FN))
+}
+
+// FPR is FP / (FP+TN), the false alarm expectancy; NaN when there are
+// no negatives.
+func (c *Confusion) FPR() float64 {
+	return ratio(float64(c.FP), float64(c.FP+c.TN))
+}
+
+// Precision is TP / (TP+FP); NaN when nothing was predicted positive.
+func (c *Confusion) Precision() float64 {
+	return ratio(float64(c.TP), float64(c.TP+c.FP))
+}
+
+// F1 is the harmonic mean of precision and TPR.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.TPR()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// PDR is the paper's positive detection rate (TP+FP) / all cases: the
+// share of the fleet the model would flag for migration, a direct proxy
+// for the operational cost of acting on predictions.
+func (c *Confusion) PDR() float64 {
+	return ratio(float64(c.TP+c.FP), float64(c.Total()))
+}
+
+// String formats the matrix and headline rates for reports.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d TPR=%.4f FPR=%.4f ACC=%.4f PDR=%.4f",
+		c.TP, c.FP, c.FN, c.TN, c.TPR(), c.FPR(), c.Accuracy(), c.PDR())
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// Evaluate scores every sample with clf at the 0.5 threshold and
+// returns the confusion matrix.
+func Evaluate(clf ml.Classifier, samples []ml.Sample) Confusion {
+	return EvaluateAt(clf, samples, 0.5)
+}
+
+// EvaluateAt scores samples with a custom probability threshold.
+func EvaluateAt(clf ml.Classifier, samples []ml.Sample, threshold float64) Confusion {
+	var c Confusion
+	for i := range samples {
+		pred := 0
+		if clf.PredictProba(samples[i].X) >= threshold {
+			pred = 1
+		}
+		c.Add(pred, samples[i].Y)
+	}
+	return c
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64
+	FPR       float64
+}
+
+// ROC computes the ROC curve of clf over samples, one point per
+// distinct score, ordered from the (0,0) corner to (1,1).
+func ROC(clf ml.Classifier, samples []ml.Sample) []ROCPoint {
+	scores := make([]float64, len(samples))
+	labels := make([]int, len(samples))
+	for i := range samples {
+		scores[i] = clf.PredictProba(samples[i].X)
+		labels[i] = samples[i].Y
+	}
+	return ROCFromScores(scores, labels)
+}
+
+// ROCFromScores builds a ROC curve from precomputed scores.
+func ROCFromScores(scores []float64, labels []int) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d scores but %d labels", len(scores), len(labels)))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos, neg int
+	for _, y := range labels {
+		if y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	points := []ROCPoint{{Threshold: math.Inf(1)}}
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		// Consume all samples sharing one score so ties move the curve
+		// diagonally rather than optimistically.
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if labels[idx[i]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{
+			Threshold: s,
+			TPR:       safeDiv(tp, pos),
+			FPR:       safeDiv(fp, neg),
+		})
+	}
+	return points
+}
+
+func safeDiv(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// AUC returns the area under the ROC curve by trapezoidal rule.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AUCScore computes the AUC of clf over samples directly.
+func AUCScore(clf ml.Classifier, samples []ml.Sample) float64 {
+	return AUC(ROC(clf, samples))
+}
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRFromScores builds the precision-recall curve from precomputed
+// scores, ordered from high thresholds (low recall) to low.
+func PRFromScores(scores []float64, labels []int) []PRPoint {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d scores but %d labels", len(scores), len(labels)))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var pos int
+	for _, y := range labels {
+		if y == 1 {
+			pos++
+		}
+	}
+	var points []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if labels[idx[i]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		if tp+fp == 0 {
+			continue
+		}
+		points = append(points, PRPoint{
+			Threshold: s,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    safeDiv(tp, pos),
+		})
+	}
+	return points
+}
+
+// AveragePrecision computes the area under the precision-recall curve
+// by the step-wise (sklearn-style) rule: Σ (R_i − R_{i−1}) · P_i.
+func AveragePrecision(points []PRPoint) float64 {
+	var ap, prevRecall float64
+	for _, p := range points {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap
+}

@@ -1,0 +1,90 @@
+package nn
+
+import "fmt"
+
+// Exported is the CNN_LSTM's serialisation form: the architecture
+// hyper-parameters, all weight tensors flattened, and the fitted input
+// scaler.
+type Exported struct {
+	SeqLen   int
+	Features int
+	Filters  int
+	Kernel   int
+	Hidden   int
+
+	ConvW, ConvB []float64
+	LSTMW, LSTMB []float64
+	OutW, OutB   []float64
+
+	Mean, Std []float64
+}
+
+// Export returns the network's serialisation form.
+func (m *Model) Export() Exported {
+	cp := func(p *param) []float64 { return append([]float64(nil), p.w...) }
+	return Exported{
+		SeqLen:   m.cfg.SeqLen,
+		Features: m.cfg.Features,
+		Filters:  m.cfg.Filters,
+		Kernel:   m.cfg.Kernel,
+		Hidden:   m.cfg.Hidden,
+		ConvW:    cp(m.convW),
+		ConvB:    cp(m.convB),
+		LSTMW:    cp(m.lstmW),
+		LSTMB:    cp(m.lstmB),
+		OutW:     cp(m.outW),
+		OutB:     cp(m.outB),
+		Mean:     append([]float64(nil), m.mean...),
+		Std:      append([]float64(nil), m.std...),
+	}
+}
+
+// Import reconstructs a CNN_LSTM from its serialisation form.
+func Import(e Exported) (*Model, error) {
+	if e.SeqLen < 1 || e.Features < 1 || e.Filters < 1 || e.Kernel < 1 || e.Hidden < 1 {
+		return nil, fmt.Errorf("nn: invalid architecture %d/%d/%d/%d/%d",
+			e.SeqLen, e.Features, e.Filters, e.Kernel, e.Hidden)
+	}
+	wants := map[string][2]int{
+		"ConvW": {len(e.ConvW), e.Filters * e.Kernel * e.Features},
+		"ConvB": {len(e.ConvB), e.Filters},
+		"LSTMW": {len(e.LSTMW), 4 * e.Hidden * (e.Filters + e.Hidden)},
+		"LSTMB": {len(e.LSTMB), 4 * e.Hidden},
+		"OutW":  {len(e.OutW), e.Hidden},
+		"OutB":  {len(e.OutB), 1},
+		"Mean":  {len(e.Mean), e.Features},
+		"Std":   {len(e.Std), e.Features},
+	}
+	for name, v := range wants {
+		if v[0] != v[1] {
+			return nil, fmt.Errorf("nn: %s has %d values, want %d", name, v[0], v[1])
+		}
+	}
+	cfg := CNNLSTMTrainer{
+		SeqLen: e.SeqLen, Features: e.Features,
+		Filters: e.Filters, Kernel: e.Kernel, Hidden: e.Hidden,
+	}
+	m := &Model{
+		cfg:   cfg,
+		convW: paramFrom(e.ConvW),
+		convB: paramFrom(e.ConvB),
+		lstmW: paramFrom(e.LSTMW),
+		lstmB: paramFrom(e.LSTMB),
+		outW:  paramFrom(e.OutW),
+		outB:  paramFrom(e.OutB),
+		mean:  append([]float64(nil), e.Mean...),
+		std:   append([]float64(nil), e.Std...),
+	}
+	for i, s := range m.std {
+		if s <= 0 {
+			return nil, fmt.Errorf("nn: non-positive scaler std at %d", i)
+		}
+	}
+	return m, nil
+}
+
+func paramFrom(w []float64) *param {
+	p := newParam(len(w))
+	copy(p.w, w)
+	return p
+}

@@ -1,0 +1,98 @@
+// Package search implements hyper-parameter grid search driven by
+// time-series cross-validation, and the sequential forward feature
+// selection (Whitney, 1971) the paper uses to pick the optimal feature
+// subset per vendor.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/ml/metrics"
+	"repro/internal/sampling"
+)
+
+// Factory builds a trainer from one grid point. Keys absent from the
+// grid never appear in params.
+type Factory func(params map[string]float64) ml.Trainer
+
+// Grid maps parameter names to candidate values.
+type Grid map[string][]float64
+
+// Candidate is one evaluated grid point.
+type Candidate struct {
+	Params map[string]float64
+	// Score is the mean validation AUC across time-series CV folds.
+	Score float64
+}
+
+// GridSearch evaluates every combination in grid with k-fold
+// time-series cross-validation and returns all candidates (best first)
+// plus the winner. It follows the paper's Section III-C(4): grid search
+// combined with time-series-based cross-validation.
+func GridSearch(factory Factory, grid Grid, samples []ml.Sample, k int) ([]Candidate, Candidate, error) {
+	combos := enumerate(grid)
+	folds, err := sampling.TimeSeriesCV(samples, k)
+	if err != nil {
+		return nil, Candidate{}, err
+	}
+	candidates := make([]Candidate, 0, len(combos))
+	for _, params := range combos {
+		trainer := factory(params)
+		var sum float64
+		n := 0
+		for _, fold := range folds {
+			if !bothClasses(fold.Train) || !bothClasses(fold.Val) {
+				continue
+			}
+			clf, err := trainer.Train(fold.Train)
+			if err != nil {
+				return nil, Candidate{}, fmt.Errorf("search: %s on %v: %w", trainer.Name(), params, err)
+			}
+			sum += metrics.AUCScore(clf, fold.Val)
+			n++
+		}
+		score := 0.0
+		if n > 0 {
+			score = sum / float64(n)
+		}
+		candidates = append(candidates, Candidate{Params: params, Score: score})
+	}
+	if len(candidates) == 0 {
+		return nil, Candidate{}, fmt.Errorf("search: empty grid")
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Score > candidates[j].Score })
+	return candidates, candidates[0], nil
+}
+
+// enumerate expands the grid into the Cartesian product of its values,
+// with deterministic ordering (keys sorted).
+func enumerate(grid Grid) []map[string]float64 {
+	keys := make([]string, 0, len(grid))
+	for k := range grid {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	combos := []map[string]float64{{}}
+	for _, key := range keys {
+		var next []map[string]float64
+		for _, base := range combos {
+			for _, v := range grid[key] {
+				m := make(map[string]float64, len(base)+1)
+				for kk, vv := range base {
+					m[kk] = vv
+				}
+				m[key] = v
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+func bothClasses(samples []ml.Sample) bool {
+	neg, pos := ml.ClassCounts(samples)
+	return neg > 0 && pos > 0
+}

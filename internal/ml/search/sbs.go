@@ -1,0 +1,95 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/ml/metrics"
+)
+
+// BackwardEliminate is the mirror image of ForwardSelect: starting from
+// the full feature set, it greedily removes the feature whose removal
+// *least* hurts (or most helps) validation AUC, stopping when any
+// further removal would cost more than maxLoss of AUC or when
+// minFeatures is reached. Where SFS answers "which few features carry
+// the signal", SBS answers "which features can a deployment drop" —
+// useful when client-side collection of a channel (say, BSOD parsing)
+// has a real cost.
+func BackwardEliminate(trainer ml.Trainer, train, val []ml.Sample, names []string, minFeatures int, maxLoss float64) (*SFSResult, error) {
+	if err := ml.ValidateSamples(train, true); err != nil {
+		return nil, fmt.Errorf("search: train: %w", err)
+	}
+	if err := ml.ValidateSamples(val, true); err != nil {
+		return nil, fmt.Errorf("search: val: %w", err)
+	}
+	width := len(train[0].X)
+	if len(names) != width {
+		return nil, fmt.Errorf("search: %d names for width %d", len(names), width)
+	}
+	if minFeatures < 1 {
+		minFeatures = 1
+	}
+	if minFeatures > width {
+		return nil, fmt.Errorf("search: minFeatures %d exceeds width %d", minFeatures, width)
+	}
+
+	current := make([]int, width)
+	for i := range current {
+		current[i] = i
+	}
+	evalSubset := func(subset []int) (metrics.Confusion, float64, error) {
+		clf, err := trainer.Train(features.Mask(train, subset))
+		if err != nil {
+			return metrics.Confusion{}, 0, err
+		}
+		masked := features.Mask(val, subset)
+		return metrics.Evaluate(clf, masked), metrics.AUCScore(clf, masked), nil
+	}
+
+	_, baseAUC, err := evalSubset(current)
+	if err != nil {
+		return nil, fmt.Errorf("search: full set: %w", err)
+	}
+
+	res := &SFSResult{}
+	for len(current) > minFeatures {
+		bestAUC := -1.0
+		bestDrop := -1
+		var bestCM metrics.Confusion
+		for di := range current {
+			subset := make([]int, 0, len(current)-1)
+			subset = append(subset, current[:di]...)
+			subset = append(subset, current[di+1:]...)
+			cm, auc, err := evalSubset(subset)
+			if err != nil {
+				return nil, fmt.Errorf("search: dropping %s: %w", names[current[di]], err)
+			}
+			if auc > bestAUC {
+				bestAUC = auc
+				bestDrop = di
+				bestCM = cm
+			}
+		}
+		if bestDrop == -1 || bestAUC < baseAUC-maxLoss {
+			break
+		}
+		dropped := current[bestDrop]
+		current = append(current[:bestDrop], current[bestDrop+1:]...)
+		res.Steps = append(res.Steps, SFSStep{
+			FeatureIndex: dropped,
+			FeatureName:  names[dropped],
+			TPR:          bestCM.TPR(),
+			FPR:          bestCM.FPR(),
+			AUC:          bestAUC,
+		})
+		if bestAUC > baseAUC {
+			baseAUC = bestAUC
+		}
+	}
+	res.Selected = append([]int(nil), current...)
+	for _, i := range current {
+		res.Names = append(res.Names, names[i])
+	}
+	return res, nil
+}

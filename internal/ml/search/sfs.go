@@ -1,0 +1,99 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/ml/metrics"
+)
+
+// SFSStep records the state after adding one feature during sequential
+// forward selection.
+type SFSStep struct {
+	// FeatureIndex is the selected feature's index in the full vector.
+	FeatureIndex int
+	// FeatureName is its human-readable name.
+	FeatureName string
+	// TPR, FPR, AUC are the validation metrics of the model trained on
+	// the subset selected so far.
+	TPR float64
+	FPR float64
+	AUC float64
+}
+
+// SFSResult is the outcome of a forward-selection run.
+type SFSResult struct {
+	// Steps is the selection trajectory, one entry per added feature
+	// (the series behind the paper's Fig. 17).
+	Steps []SFSStep
+	// Selected is the chosen feature index subset, in selection order.
+	Selected []int
+	// Names are the chosen features' names.
+	Names []string
+}
+
+// ForwardSelect implements the sequential forward selection algorithm
+// the paper cites (Whitney 1971): starting from the empty subset, it
+// greedily adds the feature whose addition maximises validation AUC,
+// stopping when no candidate improves it by more than minGain or when
+// maxFeatures is reached (0 = no limit).
+func ForwardSelect(trainer ml.Trainer, train, val []ml.Sample, names []string, maxFeatures int, minGain float64) (*SFSResult, error) {
+	if err := ml.ValidateSamples(train, true); err != nil {
+		return nil, fmt.Errorf("search: train: %w", err)
+	}
+	if err := ml.ValidateSamples(val, true); err != nil {
+		return nil, fmt.Errorf("search: val: %w", err)
+	}
+	width := len(train[0].X)
+	if len(names) != width {
+		return nil, fmt.Errorf("search: %d names for width %d", len(names), width)
+	}
+	if maxFeatures <= 0 || maxFeatures > width {
+		maxFeatures = width
+	}
+
+	res := &SFSResult{}
+	inSubset := make([]bool, width)
+	bestAUC := 0.0
+
+	for len(res.Selected) < maxFeatures {
+		bestIdx := -1
+		var bestStep SFSStep
+		for f := 0; f < width; f++ {
+			if inSubset[f] {
+				continue
+			}
+			subset := append(append([]int(nil), res.Selected...), f)
+			clf, err := trainer.Train(features.Mask(train, subset))
+			if err != nil {
+				return nil, fmt.Errorf("search: training with %v: %w", subset, err)
+			}
+			maskedVal := features.Mask(val, subset)
+			auc := metrics.AUCScore(clf, maskedVal)
+			if bestIdx == -1 || auc > bestStep.AUC {
+				cm := metrics.Evaluate(clf, maskedVal)
+				bestIdx = f
+				bestStep = SFSStep{
+					FeatureIndex: f,
+					FeatureName:  names[f],
+					TPR:          cm.TPR(),
+					FPR:          cm.FPR(),
+					AUC:          auc,
+				}
+			}
+		}
+		if bestIdx == -1 || bestStep.AUC <= bestAUC+minGain {
+			break
+		}
+		bestAUC = bestStep.AUC
+		inSubset[bestIdx] = true
+		res.Selected = append(res.Selected, bestIdx)
+		res.Names = append(res.Names, names[bestIdx])
+		res.Steps = append(res.Steps, bestStep)
+	}
+	if len(res.Selected) == 0 {
+		return nil, fmt.Errorf("search: forward selection selected nothing")
+	}
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package tree
+
+// Per-prediction explanation by decision-path attribution (the Saabas
+// method): walking from the root to a leaf, each split changes the
+// expected prediction from the parent node's mean to the child's; that
+// change is attributed to the split's feature. Contributions plus the
+// root bias reconstruct the leaf value exactly, giving the operator a
+// "why was this drive flagged" answer — the interpretability need the
+// paper's related work (DFPE, MSST'19) calls out.
+
+// Explain returns the per-feature contributions for x and the bias
+// (the root node's mean). bias + Σ contributions == PredictProba(x).
+func (t *Classifier) Explain(x []float64) (contributions []float64, bias float64) {
+	return explainNodes(t.nodes, t.width, x)
+}
+
+func explainNodes(nodes []node, width int, x []float64) ([]float64, float64) {
+	contrib := make([]float64, width)
+	i := 0
+	bias := nodes[0].value
+	for nodes[i].feature != -1 {
+		n := &nodes[i]
+		var next int
+		if x[n.feature] <= n.threshold {
+			next = n.left
+		} else {
+			next = n.right
+		}
+		if n.feature < width {
+			contrib[n.feature] += nodes[next].value - n.value
+		}
+		i = next
+	}
+	return contrib, bias
+}

@@ -1,0 +1,98 @@
+package tree
+
+import "fmt"
+
+// Exported is the serialisation form of a tree, shared by the
+// classification and regression kinds. Fields are exported for
+// encoding/json and encoding/gob.
+type Exported struct {
+	Nodes []ExportedNode
+	Width int
+	// Leaves is the regression tree's leaf count (0 for classifiers).
+	Leaves int
+}
+
+// ExportedNode mirrors the internal node layout.
+type ExportedNode struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Value     float64
+	LeafID    int
+	Gain      float64
+}
+
+// Export returns the classifier's serialisation form.
+func (t *Classifier) Export() Exported {
+	return Exported{Nodes: exportNodes(t.nodes), Width: t.width}
+}
+
+// Export returns the regressor's serialisation form.
+func (t *Regressor) Export() Exported {
+	return Exported{Nodes: exportNodes(t.nodes), Leaves: t.numLeafs}
+}
+
+func exportNodes(nodes []node) []ExportedNode {
+	out := make([]ExportedNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = ExportedNode{
+			Feature:   n.feature,
+			Threshold: n.threshold,
+			Left:      n.left,
+			Right:     n.right,
+			Value:     n.value,
+			LeafID:    n.leafID,
+			Gain:      n.gain,
+		}
+	}
+	return out
+}
+
+func importNodes(nodes []ExportedNode) ([]node, error) {
+	out := make([]node, len(nodes))
+	for i, n := range nodes {
+		if n.Feature >= 0 {
+			if n.Left < 0 || n.Left >= len(nodes) || n.Right < 0 || n.Right >= len(nodes) {
+				return nil, fmt.Errorf("tree: node %d has child out of range", i)
+			}
+			if n.Left == i || n.Right == i {
+				return nil, fmt.Errorf("tree: node %d is its own child", i)
+			}
+		}
+		out[i] = node{
+			feature:   n.Feature,
+			threshold: n.Threshold,
+			left:      n.Left,
+			right:     n.Right,
+			value:     n.Value,
+			leafID:    n.LeafID,
+			gain:      n.Gain,
+		}
+	}
+	return out, nil
+}
+
+// ImportClassifier reconstructs a classification tree.
+func ImportClassifier(e Exported) (*Classifier, error) {
+	if len(e.Nodes) == 0 {
+		return nil, fmt.Errorf("tree: empty export")
+	}
+	nodes, err := importNodes(e.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{nodes: nodes, width: e.Width}, nil
+}
+
+// ImportRegressor reconstructs a regression tree.
+func ImportRegressor(e Exported) (*Regressor, error) {
+	if len(e.Nodes) == 0 {
+		return nil, fmt.Errorf("tree: empty export")
+	}
+	nodes, err := importNodes(e.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Regressor{nodes: nodes, numLeafs: e.Leaves}, nil
+}

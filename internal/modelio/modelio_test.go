@@ -1,0 +1,111 @@
+package modelio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simfleet"
+)
+
+// trainedModels trains one small model per algorithm on a shared tiny
+// fleet, plus the samples to verify score equality on.
+func trainedModels(t *testing.T) map[core.Algorithm]*core.Model {
+	t.Helper()
+	cfg := simfleet.TinyConfig()
+	cfg.FailureScale = 0.04
+	fleet, err := simfleet.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[core.Algorithm]*core.Model)
+	for _, algo := range core.Algorithms() {
+		pc := core.DefaultConfig("I")
+		pc.Algorithm = algo
+		if algo == core.AlgoCNNLSTM {
+			pc.SeqLen = 3
+		}
+		m, _, err := core.TrainOnFleet(fleet.Data, fleet.Tickets, pc)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		out[algo] = m
+	}
+	return out
+}
+
+func TestRoundTripAllAlgorithms(t *testing.T) {
+	models := trainedModels(t)
+	for algo, m := range models {
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("%s: save: %v", algo, err)
+		}
+		restored, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", algo, err)
+		}
+		if restored.Threshold != m.Threshold {
+			t.Errorf("%s: threshold %g != %g", algo, restored.Threshold, m.Threshold)
+		}
+		if restored.Config.Algorithm != algo {
+			t.Errorf("%s: algorithm %q after round trip", algo, restored.Config.Algorithm)
+		}
+		if restored.Config.Group != m.Config.Group {
+			t.Errorf("%s: group changed", algo)
+		}
+		// Scores must match bit-for-bit on arbitrary inputs.
+		width := m.Width
+		if algo == core.AlgoCNNLSTM {
+			width = m.Width * m.Config.SeqLen
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := make([]float64, width)
+			for i := range x {
+				x[i] = float64((trial+1)*(i+3)%97) * 1.5
+			}
+			if got, want := restored.Predict(x), m.Predict(x); got != want {
+				t.Fatalf("%s: prediction drift after round trip: %g vs %g", algo, got, want)
+			}
+		}
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	models := trainedModels(t)
+	m := models[core.AlgoRF]
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.Width)
+	if restored.Predict(x) != m.Predict(x) {
+		t.Fatal("prediction drift")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"version":99,"algorithm":"RF","group":"SFWB","threshold":0.5,"payload":{}}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"version":1,"algorithm":"RF","group":"NOPE","threshold":0.5,"payload":{}}`)); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"version":1,"algorithm":"RF","group":"SFWB","threshold":2,"payload":{}}`)); err == nil {
+		t.Fatal("out-of-range threshold accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"version":1,"algorithm":"XGB","group":"SFWB","threshold":0.5,"payload":{}}`)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"version":1,"algorithm":"RF","group":"SFWB","threshold":0.5,"payload":{"Trees":[]}}`)); err == nil {
+		t.Fatal("empty forest accepted")
+	}
+}

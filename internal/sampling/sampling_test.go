@@ -1,0 +1,214 @@
+package sampling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+)
+
+// mk builds a sample with the given label and day.
+func mk(y, day int) ml.Sample {
+	return ml.Sample{X: []float64{float64(day)}, Y: y, Day: day, SN: "sn"}
+}
+
+func series(pos, neg int) []ml.Sample {
+	var out []ml.Sample
+	for i := 0; i < pos; i++ {
+		out = append(out, mk(1, i))
+	}
+	for i := 0; i < neg; i++ {
+		out = append(out, mk(0, pos+i))
+	}
+	return out
+}
+
+func TestUnderSampleRatio(t *testing.T) {
+	out, err := UnderSample(series(10, 100), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, pos := ml.ClassCounts(out)
+	if pos != 10 {
+		t.Fatalf("positives = %d, want all 10", pos)
+	}
+	if neg != 30 {
+		t.Fatalf("negatives = %d, want 30", neg)
+	}
+}
+
+func TestUnderSampleKeepsOrder(t *testing.T) {
+	out, err := UnderSample(series(5, 50), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Day < out[i-1].Day {
+			t.Fatal("under-sampling reordered samples")
+		}
+	}
+}
+
+func TestUnderSampleFewNegatives(t *testing.T) {
+	out, err := UnderSample(series(10, 5), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 15 {
+		t.Fatalf("len = %d, want all 15 when negatives are scarce", len(out))
+	}
+}
+
+func TestUnderSampleDeterministic(t *testing.T) {
+	a, _ := UnderSample(series(10, 100), 3, 42)
+	b, _ := UnderSample(series(10, 100), 3, 42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Day != b[i].Day {
+			t.Fatal("same seed produced different subsets")
+		}
+	}
+	c, _ := UnderSample(series(10, 100), 3, 43)
+	same := true
+	for i := range a {
+		if a[i].Day != c[i].Day {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical subsets")
+	}
+}
+
+func TestUnderSampleRejectsBadRatio(t *testing.T) {
+	if _, err := UnderSample(series(1, 1), 0, 1); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+}
+
+func TestSplitAtDay(t *testing.T) {
+	samples := []ml.Sample{mk(0, 1), mk(0, 5), mk(1, 6), mk(0, 9)}
+	train, test := SplitAtDay(samples, 5)
+	if len(train) != 2 || len(test) != 2 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	for _, s := range train {
+		if s.Day > 5 {
+			t.Fatal("future sample in training set")
+		}
+	}
+}
+
+func TestSplitFractionChronological(t *testing.T) {
+	samples := []ml.Sample{mk(0, 9), mk(0, 1), mk(0, 5), mk(0, 3)}
+	train, test := SplitFraction(samples, 0.5)
+	if len(train) != 2 || len(test) != 2 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	maxTrain := 0
+	for _, s := range train {
+		if s.Day > maxTrain {
+			maxTrain = s.Day
+		}
+	}
+	for _, s := range test {
+		if s.Day < maxTrain {
+			t.Fatalf("test sample day %d before train max %d", s.Day, maxTrain)
+		}
+	}
+}
+
+func TestRandomSplitSizes(t *testing.T) {
+	train, test := RandomSplit(series(10, 10), 0.25, 1)
+	if len(test) != 5 || len(train) != 15 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+}
+
+func TestTimeSeriesCVNeverTrainsOnFuture(t *testing.T) {
+	samples := series(20, 20)
+	folds, err := TimeSeriesCV(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 4 {
+		t.Fatalf("folds = %d, want 4", len(folds))
+	}
+	for fi, fold := range folds {
+		maxTrain := -1
+		for _, s := range fold.Train {
+			if s.Day > maxTrain {
+				maxTrain = s.Day
+			}
+		}
+		for _, s := range fold.Val {
+			if s.Day < maxTrain {
+				t.Fatalf("fold %d: validation day %d before training day %d", fi, s.Day, maxTrain)
+			}
+		}
+	}
+}
+
+func TestTimeSeriesCVErrors(t *testing.T) {
+	if _, err := TimeSeriesCV(series(1, 1), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := TimeSeriesCV(series(1, 1), 5); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}
+
+func TestKFoldCVPartitions(t *testing.T) {
+	samples := series(6, 6)
+	folds, err := KFoldCV(samples, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	totalVal := 0
+	for _, f := range folds {
+		totalVal += len(f.Val)
+		if len(f.Train)+len(f.Val) != len(samples) {
+			t.Fatal("fold does not cover the sample set")
+		}
+	}
+	if totalVal != len(samples) {
+		t.Fatalf("validation folds cover %d samples, want %d", totalVal, len(samples))
+	}
+}
+
+func TestKFoldCVErrors(t *testing.T) {
+	if _, err := KFoldCV(series(1, 1), 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := KFoldCV(series(1, 0), 3, 1); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}
+
+func TestChunkProperty(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := int(rawN)%200 + 10
+		k := int(rawK)%8 + 2
+		if n < k {
+			n = k
+		}
+		subsets := chunk(series(n/2, n-n/2), k)
+		total := 0
+		for i, sub := range subsets {
+			total += len(sub)
+			if i > 0 && len(sub) > len(subsets[i-1]) {
+				return false // earlier chunks must be at least as large
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package simfleet
+
+import "testing"
+
+func BenchmarkSimulateTinyFleet(b *testing.B) {
+	cfg := TinyConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Data.Len() == 0 {
+			b.Fatal("empty fleet")
+		}
+	}
+}
+
+func BenchmarkDriveDay(b *testing.B) {
+	cfg := TinyConfig()
+	r := driveRNG(cfg.Seed, "bench-drive")
+	v := cfg.Vendors[0]
+	d := newDriveState(r, "bench-drive", &v, kindFaulty, 80, &cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.stepDay(r, i%cfg.Days, &cfg)
+	}
+}

@@ -1,0 +1,154 @@
+package simfleet
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/smartattr"
+)
+
+// fleetForMechanisms simulates once with enough drives to observe every
+// cohort.
+var mechFleet *Result
+
+func mechanisms(t *testing.T) *Result {
+	t.Helper()
+	if mechFleet == nil {
+		cfg := DefaultConfig()
+		cfg.Days = 120
+		cfg.FailureScale = 0.08
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mechFleet = res
+	}
+	return mechFleet
+}
+
+// wbTotal sums a series' W and B activity.
+func wbTotal(s *dataset.DriveSeries) (w, b float64) {
+	for i := range s.Records {
+		w += s.Records[i].WCounts.Total()
+		b += s.Records[i].BCounts.Total()
+	}
+	return w, b
+}
+
+func TestSmartNoiseCohortExists(t *testing.T) {
+	res := mechanisms(t)
+	// The smart-noise cohort must accumulate media errors rivalling
+	// faulty drives while staying quiet on W/B — the mechanism that
+	// caps the SMART-only model.
+	noisyQuiet := 0
+	for sn, truth := range res.Truth {
+		if truth.Kind != "smart-noise" {
+			continue
+		}
+		s, ok := res.Data.Series(sn)
+		if !ok || len(s.Records) == 0 {
+			continue
+		}
+		last := &s.Records[len(s.Records)-1]
+		w, b := wbTotal(s)
+		if last.Smart.Get(smartattr.MediaErrors) > 10 && w+b < 3 {
+			noisyQuiet++
+		}
+	}
+	if noisyQuiet < 10 {
+		t.Fatalf("only %d quiet smart-noise drives; the S-vs-SFWB contrast needs them", noisyQuiet)
+	}
+}
+
+func TestFaultyDrivesHaveStrongerWB(t *testing.T) {
+	res := mechanisms(t)
+	var faultyMean, healthyMean float64
+	var nf, nh int
+	for sn, truth := range res.Truth {
+		s, ok := res.Data.Series(sn)
+		if !ok {
+			continue
+		}
+		w, b := wbTotal(s)
+		switch truth.Kind {
+		case "faulty":
+			faultyMean += w + b
+			nf++
+		case "healthy":
+			healthyMean += w + b
+			nh++
+		}
+	}
+	if nf == 0 || nh == 0 {
+		t.Skip("cohorts missing")
+	}
+	faultyMean /= float64(nf)
+	healthyMean /= float64(nh)
+	if faultyMean < 10*(healthyMean+0.1) {
+		t.Fatalf("faulty W/B mean %g not clearly above healthy %g", faultyMean, healthyMean)
+	}
+}
+
+func TestBurstCohortIsTransient(t *testing.T) {
+	res := mechanisms(t)
+	seen := 0
+	for sn, truth := range res.Truth {
+		if truth.Kind != "burst" {
+			continue
+		}
+		s, ok := res.Data.Series(sn)
+		if !ok {
+			continue
+		}
+		w, _ := wbTotal(s)
+		if w > 0 {
+			seen++
+		}
+	}
+	if seen < 5 {
+		t.Fatalf("only %d burst drives show W activity", seen)
+	}
+}
+
+func TestDriftFactor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DriftStartDay = 100
+	cfg.DriftMonthlyFactor = 2
+	if got := driftFactor(&cfg, 50); got != 1 {
+		t.Fatalf("pre-drift factor = %g", got)
+	}
+	if got := driftFactor(&cfg, 100); got != 1 {
+		t.Fatalf("drift-start factor = %g", got)
+	}
+	if got := driftFactor(&cfg, 130); got != 2 {
+		t.Fatalf("one-month factor = %g, want 2", got)
+	}
+	cfg.DriftStartDay = -1
+	if got := driftFactor(&cfg, 500); got != 1 {
+		t.Fatalf("disabled drift factor = %g", got)
+	}
+}
+
+func TestTemperatureStaysPhysical(t *testing.T) {
+	res := mechanisms(t)
+	res.Data.Each(func(s *dataset.DriveSeries) {
+		for i := range s.Records {
+			temp := s.Records[i].Smart.Get(smartattr.CompositeTemperature)
+			if temp < 273 || temp > 400 {
+				t.Fatalf("drive %s temperature %gK is unphysical", s.SerialNumber, temp)
+			}
+		}
+	})
+}
+
+func TestSpareBounded(t *testing.T) {
+	res := mechanisms(t)
+	res.Data.Each(func(s *dataset.DriveSeries) {
+		for i := range s.Records {
+			spare := s.Records[i].Smart.Get(smartattr.AvailableSpare)
+			if spare < 0 || spare > 100 {
+				t.Fatalf("drive %s spare %g%% out of range", s.SerialNumber, spare)
+			}
+		}
+	})
+}

@@ -1,0 +1,419 @@
+package simfleet
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/firmware"
+)
+
+// kind classifies a simulated drive's trajectory.
+type kind int
+
+const (
+	kindHealthy kind = iota
+	// kindSmartNoise is a healthy drive that accumulates benign SMART
+	// wear (media errors, mild spare depletion) but never fails.
+	kindSmartNoise
+	// kindBurst is a healthy drive that suffers one short transient
+	// error burst (loose connector, OS bug).
+	kindBurst
+	// kindFaulty fails inside the window with a degradation ramp.
+	kindFaulty
+	// kindSudden fails inside the window with no precursor signal.
+	kindSudden
+)
+
+// String names the kind for ground-truth reports.
+func (k kind) String() string {
+	switch k {
+	case kindHealthy:
+		return "healthy"
+	case kindSmartNoise:
+		return "smart-noise"
+	case kindBurst:
+		return "burst"
+	case kindFaulty:
+		return "faulty"
+	case kindSudden:
+		return "faulty-sudden"
+	default:
+		return "unknown"
+	}
+}
+
+// Faulty reports whether the drive fails during the window.
+func (k kind) Faulty() bool { return k == kindFaulty || k == kindSudden }
+
+// userClass captures the power-on behaviour of the machine's owner —
+// the source of telemetry discontinuity in consumer storage systems.
+type userClass int
+
+const (
+	userOffice userClass = iota // weekday-heavy schedule
+	userHome                    // sparse everyday use
+	userHeavy                   // near-daily long sessions
+)
+
+// usageProfile is the realised schedule of one machine.
+type usageProfile struct {
+	class userClass
+	// onProb[i] is the probability the machine powers on, for weekday
+	// i (0..4 weekdays, 5..6 weekend).
+	onProb [7]float64
+	// hoursMean is the mean powered-on hours per active day.
+	hoursMean float64
+	// writeGBPerHour and readGBPerHour drive the workload counters.
+	writeGBPerHour float64
+	readGBPerHour  float64
+}
+
+// sampleUsage draws a usage profile. The class mix keeps roughly half
+// the fleet on office-like weekday schedules, which produces the 2–3
+// day weekend gaps and occasional long holes seen in Fig. 6.
+func sampleUsage(r *rand.Rand) usageProfile {
+	var p usageProfile
+	switch u := r.Float64(); {
+	case u < 0.45:
+		p.class = userOffice
+		wk := 0.82 + 0.13*r.Float64()
+		we := 0.08 + 0.15*r.Float64()
+		p.onProb = [7]float64{wk, wk, wk, wk, wk, we, we}
+		p.hoursMean = 6 + 3*r.Float64()
+		p.writeGBPerHour = 1.5 + r.Float64()
+		p.readGBPerHour = 3 + 2*r.Float64()
+	case u < 0.80:
+		p.class = userHome
+		on := 0.35 + 0.30*r.Float64()
+		p.onProb = [7]float64{on, on, on, on, on, on + 0.1, on + 0.1}
+		p.hoursMean = 2 + 2*r.Float64()
+		p.writeGBPerHour = 0.8 + 0.8*r.Float64()
+		p.readGBPerHour = 2 + 2*r.Float64()
+	default:
+		p.class = userHeavy
+		on := 0.80 + 0.15*r.Float64()
+		p.onProb = [7]float64{on, on, on, on, on, on, on}
+		p.hoursMean = 5 + 4*r.Float64()
+		p.writeGBPerHour = 3 + 3*r.Float64()
+		p.readGBPerHour = 6 + 4*r.Float64()
+	}
+	return p
+}
+
+// expectedDailyHours returns the long-run mean powered hours per
+// calendar day, used to reconcile power-on-hour ages with calendar time.
+func (p *usageProfile) expectedDailyHours() float64 {
+	var on float64
+	for _, q := range p.onProb {
+		on += q
+	}
+	return on / 7 * p.hoursMean
+}
+
+// driveState is the evolving simulation state of one drive.
+type driveState struct {
+	sn     string
+	vendor string
+	model  ModelSpec
+	fw     firmware.Release
+	kind   kind
+	usage  usageProfile
+
+	// failDay is the calendar day (window-relative) the drive dies;
+	// -1 for drives that survive the window.
+	failDay int
+	// prefail is the length of the degradation ramp in days.
+	prefail int
+
+	// SMART counter state.
+	hours       float64 // power-on hours
+	cycles      float64 // power cycles
+	unitsRead   float64 // 512,000-byte data units read
+	unitsWrite  float64
+	hostReads   float64
+	hostWrites  float64
+	busyMin     float64
+	mediaErr    float64
+	errLog      float64
+	extraErrLog float64
+	spare       float64 // percent
+	unsafeShut  float64
+	critWarn    float64
+
+	// Degradation parameters.
+	peakMediaPerDay float64 // media error rate at full ramp
+	spareDrop       float64 // total spare percentage lost at failure
+	noiseMediaRate  float64 // benign media error rate (smart-noise cohort)
+	noiseSpareRate  float64 // benign daily spare loss
+	weakSmart       bool    // failure with near-silent SMART counters
+	// wScale and bScale attenuate a faulty drive's W/B emission: not
+	// every failing drive is equally chatty on every channel, so the
+	// W-only and B-only feature groups each miss some failures that the
+	// other channel (or SMART) still catches.
+	wScale float64
+	bScale float64
+	// episodes are SMART "scares" on severe-noise drives: degradation
+	// ramps drawn from the same generator as real pre-failure ramps,
+	// but with quiet W/B channels and no failure. They are the dominant
+	// source of SMART-only false positives.
+	episodes []episode
+
+	// Burst parameters (kindBurst only).
+	burstStart int
+	burstLen   int
+
+	// maxHours is the wear-out scale for bathtub sampling.
+	maxHours float64
+}
+
+// maxPowerOnHours is the wear-out horizon of the fleet in power-on
+// hours: the upper edge of the Fig. 2 histogram.
+const maxPowerOnHours = 30000
+
+// newDriveState initialises a drive of the given kind. failDay must be
+// in [0, days) for faulty kinds and is ignored otherwise.
+func newDriveState(r *rand.Rand, sn string, v *VendorSpec, k kind, failDay int, cfg *Config) *driveState {
+	d := &driveState{
+		sn:       sn,
+		vendor:   v.Name,
+		kind:     k,
+		usage:    sampleUsage(r),
+		failDay:  -1,
+		prefail:  cfg.PrefailWindowDays,
+		spare:    100,
+		maxHours: maxPowerOnHours,
+	}
+
+	// Model by population share.
+	weights := make([]float64, len(v.Models))
+	for i := range v.Models {
+		weights[i] = v.Models[i].Share
+	}
+	d.model = v.Models[weightedIndex(r, weights)]
+
+	// Firmware: healthy drives sample by ship share; faulty drives by
+	// ship share × hazard multiplier, which is Bayes' rule for
+	// P(firmware | failed) and reproduces Fig. 3's per-release failure
+	// rates without per-day hazard integration.
+	rels := v.Firmware.Releases()
+	fwWeights := make([]float64, len(rels))
+	for i, rel := range rels {
+		if k.Faulty() {
+			fwWeights[i] = rel.ShipShare * rel.HazardMultiplier
+		} else {
+			fwWeights[i] = rel.ShipShare
+		}
+	}
+	d.fw = rels[weightedIndex(r, fwWeights)]
+
+	// Age initialisation. Faulty drives sample the power-on-hour age at
+	// death from the bathtub curve and back-date their birth so the
+	// recorded PowerOnHours at failure equals that age; healthy drives
+	// get a uniform age.
+	dailyHours := d.usage.expectedDailyHours()
+	if k.Faulty() {
+		d.failDay = failDay
+		failHours := bathtubFailureHours(r, d.maxHours)
+		d.hours = failHours - dailyHours*float64(failDay)
+		if d.hours < 0 {
+			d.hours = failHours * r.Float64() * 0.1
+		}
+	} else {
+		ageDays := r.Float64() * 1100
+		d.hours = ageDays * dailyHours
+		if d.hours > d.maxHours*0.95 {
+			d.hours = d.maxHours * 0.95
+		}
+	}
+
+	// Derive the other counters from the initial age.
+	activeDays := d.hours / math.Max(dailyHours, 0.1) * (sumProb(d.usage.onProb) / 7)
+	d.cycles = activeDays * (1.2 + 0.6*r.Float64())
+	gbWritten := d.hours * d.usage.writeGBPerHour
+	gbRead := d.hours * d.usage.readGBPerHour
+	d.unitsWrite = gbWritten * unitsPerGB
+	d.unitsRead = gbRead * unitsPerGB
+	d.hostWrites = d.unitsWrite * (28 + 8*r.Float64())
+	d.hostReads = d.unitsRead * (30 + 8*r.Float64())
+	d.busyMin = d.hours * (2 + 2*r.Float64())
+	d.unsafeShut = activeDays * 0.01 * (1 + r.Float64())
+
+	// Degradation parameters. The SMART signatures of the faulty and
+	// smart-noise cohorts deliberately overlap: production SMART data
+	// separates failing drives only imperfectly (the paper's S-only
+	// baseline reaches ~94% TPR at ~4% FPR), while the W/B channels
+	// stay clean for the noise cohort.
+	ageDays := d.hours / math.Max(dailyHours, 0.1)
+	switch k {
+	case kindFaulty:
+		d.wScale = 0.35 + 0.95*r.Float64()
+		d.bScale = 0.25 + 1.05*r.Float64()
+		if r.Float64() < weakSmartShare {
+			// Weak-SMART failures: the controller is dying but the
+			// media counters barely move — only the system-level W/B
+			// channels betray these drives. They cap the TPR any
+			// SMART-only model can reach.
+			d.weakSmart = true
+			d.peakMediaPerDay = 0.3 + 0.6*r.Float64()
+			d.spareDrop = 0
+		} else {
+			d.peakMediaPerDay, d.spareDrop = sampleRampParams(r)
+			// Real failures degrade somewhat harder than scares on
+			// average — the extra margin a SMART-only model can use.
+			d.peakMediaPerDay *= 1.6
+		}
+		// Lifetime background media errors accumulated before the window.
+		d.mediaErr = float64(poisson(r, ageDays*0.004))
+	case kindSmartNoise:
+		if r.Float64() < severeNoiseShare {
+			// Severe noise: 1–2 scare episodes whose SMART trajectory
+			// is drawn from the same distribution as a real
+			// pre-failure ramp.
+			n := 1 + r.Intn(2)
+			for i := 0; i < n; i++ {
+				peak, drop := sampleRampParams(r)
+				ep := episode{
+					// Starts are drawn by placeEpisodes once the
+					// window length is known.
+					length:    cfg.PrefailWindowDays,
+					peakMedia: peak,
+					spareDrop: drop * 0.8,
+				}
+				if r.Float64() < fullStackScareShare {
+					ep.wbScale = 0.25 + 0.45*r.Float64()
+				}
+				d.episodes = append(d.episodes, ep)
+			}
+			d.noiseMediaRate = 0.03 + 0.10*r.Float64()
+			d.noiseSpareRate = 0.005 + 0.02*r.Float64()
+		} else {
+			d.noiseMediaRate = 0.01 + 0.06*r.Float64()
+			d.noiseSpareRate = 0.002 + 0.01*r.Float64()
+		}
+		d.mediaErr = float64(poisson(r, ageDays*d.noiseMediaRate*0.6))
+		d.spare = math.Max(75, 100-ageDays*d.noiseSpareRate*0.4)
+	case kindBurst:
+		d.burstLen = 4 + r.Intn(7)
+		d.mediaErr = float64(poisson(r, ageDays*0.004))
+	default:
+		d.mediaErr = float64(poisson(r, ageDays*0.002))
+	}
+	d.extraErrLog = float64(poisson(r, ageDays*0.01))
+	return d
+}
+
+// episode is one SMART scare on a severe-noise drive.
+type episode struct {
+	start     int
+	length    int
+	peakMedia float64
+	spareDrop float64
+	// wbScale, when positive, turns the scare "full-stack": the episode
+	// also drives the W/B channels at faulty-like rates (a loose
+	// connector or overheating bay mimics a dying drive on every
+	// channel until it is fixed). These are the false positives even an
+	// SFWB model cannot avoid.
+	wbScale float64
+}
+
+// placeEpisodes assigns episode start days across the window.
+func (d *driveState) placeEpisodes(r *rand.Rand, days int) {
+	for i := range d.episodes {
+		d.episodes[i].start = r.Intn(days)
+	}
+}
+
+// sampleRampParams draws the media-error peak rate and spare loss of a
+// degradation ramp; used identically for real pre-failure ramps and
+// scare episodes so a SMART-only model cannot tell them apart.
+func sampleRampParams(r *rand.Rand) (peakMedia, spareDrop float64) {
+	peakMedia = 2 + 6*r.Float64()
+	if r.Float64() < 0.10 {
+		spareDrop = 0
+	} else {
+		spareDrop = 6 + 22*r.Float64()
+	}
+	return peakMedia, spareDrop
+}
+
+// weakSmartShare is the fraction of (non-sudden) failures whose SMART
+// counters barely react before death.
+const weakSmartShare = 0.03
+
+// severeNoiseShare is the fraction of the smart-noise cohort with
+// scare episodes.
+const severeNoiseShare = 0.5
+
+// fullStackScareShare is the fraction of scare episodes that also hit
+// the W/B channels.
+const fullStackScareShare = 0.12
+
+// wbEpisodeRamp returns the strongest full-stack episode ramp active on
+// day and its W/B intensity scale (0 when none).
+func (d *driveState) wbEpisodeRamp(day int) (ramp, scale float64) {
+	for i := range d.episodes {
+		ep := &d.episodes[i]
+		if ep.wbScale == 0 || day < ep.start || day >= ep.start+ep.length {
+			continue
+		}
+		er := float64(day-ep.start+1) / float64(ep.length)
+		if er*ep.wbScale > ramp*scale {
+			ramp, scale = er, ep.wbScale
+		}
+	}
+	return ramp, scale
+}
+
+// smartRamp returns the strongest active degradation ramp on day and
+// its parameters: the real pre-failure ramp for faulty drives, or a
+// scare episode for severe-noise drives. ok is false when no ramp is
+// active.
+func (d *driveState) smartRamp(day int) (ramp, peakMedia, spareDrop float64, ok bool) {
+	if f := d.ramp(day); f > 0 {
+		return f, d.peakMediaPerDay, d.spareDrop, true
+	}
+	for i := range d.episodes {
+		ep := &d.episodes[i]
+		if day < ep.start || day >= ep.start+ep.length {
+			continue
+		}
+		er := float64(day-ep.start+1) / float64(ep.length)
+		if er > ramp {
+			ramp, peakMedia, spareDrop, ok = er, ep.peakMedia, ep.spareDrop, true
+		}
+	}
+	return ramp, peakMedia, spareDrop, ok
+}
+
+// unitsPerGB converts gigabytes to NVMe data units (512,000 bytes).
+const unitsPerGB = 1e9 / 512000
+
+func sumProb(p [7]float64) float64 {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// ramp returns the degradation ramp value in [0,1] on calendar day.
+// Zero for drives without a precursor ramp.
+func (d *driveState) ramp(day int) float64 {
+	if d.kind != kindFaulty || d.failDay < 0 {
+		return 0
+	}
+	start := d.failDay - d.prefail
+	if day <= start {
+		return 0
+	}
+	if day >= d.failDay {
+		return 1
+	}
+	return float64(day-start) / float64(d.prefail)
+}
+
+// inBurst reports whether day falls inside a burst drive's transient
+// error burst.
+func (d *driveState) inBurst(day int) bool {
+	return d.kind == kindBurst && day >= d.burstStart && day < d.burstStart+d.burstLen
+}

@@ -1,0 +1,236 @@
+package simfleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/smartattr"
+	"repro/internal/ticket"
+)
+
+// DriveTruth is the ground truth for one simulated drive, used by
+// experiments to score predictions and by the figure generators.
+type DriveTruth struct {
+	SerialNumber string
+	Vendor       string
+	Model        string
+	Firmware     string
+	FirmwareSeq  int
+	// Faulty reports whether the drive fails during the window.
+	Faulty bool
+	// Sudden reports a failure with no precursor signal.
+	Sudden bool
+	// FailDay is the window-relative failure day, -1 when healthy.
+	FailDay int
+	// FailPowerOnHours is the SMART power-on-hour age at failure
+	// (0 when healthy).
+	FailPowerOnHours float64
+	// Kind is the simulator cohort ("healthy", "smart-noise", "burst",
+	// "faulty", "faulty-sudden").
+	Kind string
+}
+
+// VendorStats summarises one vendor's nominal population for the
+// Table VI / Fig. 3 experiments.
+type VendorStats struct {
+	Name string
+	// Population is the nominal fleet size.
+	Population int
+	// Failures is the number of faulty drives materialised in this run
+	// (after Config.FailureScale).
+	Failures int
+	// NominalFailures is the vendor spec's unscaled failure count.
+	NominalFailures int
+	// SampledHealthy is the number of healthy drives materialised.
+	SampledHealthy int
+	// FailuresByFirmwareSeq maps a firmware release sequence number to
+	// the count of failures on it.
+	FailuresByFirmwareSeq map[int]int
+	// PopulationByFirmwareSeq maps a firmware release sequence to the
+	// nominal population share running it.
+	PopulationByFirmwareSeq map[int]float64
+}
+
+// ReplacementRate returns the run's scaled replacement rate: failures
+// scaled back to the nominal population.
+func (s *VendorStats) ReplacementRate() float64 {
+	if s.Population == 0 {
+		return 0
+	}
+	return float64(s.NominalFailures) / float64(s.Population)
+}
+
+// Result is one simulated fleet.
+type Result struct {
+	// Data is the raw (daily-count, discontinuous) telemetry.
+	Data *dataset.Dataset
+	// Tickets is the after-sales RaSRF ticket store.
+	Tickets *ticket.Store
+	// Truth maps serial number to ground truth.
+	Truth map[string]DriveTruth
+	// Stats summarises each vendor in spec order.
+	Stats []VendorStats
+	// Config echoes the configuration that produced the result.
+	Config Config
+}
+
+// FaultyCount returns the number of faulty drives in the run.
+func (res *Result) FaultyCount() int {
+	n := 0
+	for _, t := range res.Truth {
+		if t.Faulty {
+			n++
+		}
+	}
+	return n
+}
+
+// Simulate generates a fleet per cfg. The same cfg (including Seed)
+// always yields the same result.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.Vendors == nil {
+		cfg.Vendors = DefaultVendors()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Data:    dataset.New(),
+		Tickets: ticket.NewStore(),
+		Truth:   make(map[string]DriveTruth),
+		Config:  cfg,
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	causes := ticket.AllCauses()
+	causeWeights := make([]float64, len(causes))
+	for i, c := range causes {
+		causeWeights[i] = c.Share
+	}
+
+	for _, v := range cfg.Vendors {
+		nFaulty := int(math.Round(float64(v.Failures) * cfg.FailureScale))
+		if nFaulty < 1 {
+			nFaulty = 1
+		}
+		nHealthy := nFaulty * cfg.HealthyPerFaulty
+		stats := VendorStats{
+			Name:                    v.Name,
+			Population:              v.Population,
+			Failures:                nFaulty,
+			NominalFailures:         v.Failures,
+			SampledHealthy:          nHealthy,
+			FailuresByFirmwareSeq:   make(map[int]int),
+			PopulationByFirmwareSeq: make(map[int]float64),
+		}
+		for _, rel := range v.Firmware.Releases() {
+			stats.PopulationByFirmwareSeq[rel.Seq] = rel.ShipShare * float64(v.Population)
+		}
+
+		for i := 0; i < nFaulty; i++ {
+			sn := fmt.Sprintf("%s-F%06d", v.Name, i)
+			k := kindFaulty
+			if master.Float64() < cfg.SuddenShare {
+				k = kindSudden
+			}
+			// Failures spread uniformly over the window, but not in
+			// the first week: a drive must have some history to be
+			// observable at all.
+			failDay := 7 + master.Intn(cfg.Days-7)
+			if err := simulateDrive(res, &stats, sn, &v, k, failDay, &cfg, causes, causeWeights); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < nHealthy; i++ {
+			sn := fmt.Sprintf("%s-H%06d", v.Name, i)
+			k := kindHealthy
+			switch u := master.Float64(); {
+			case u < cfg.SmartNoiseShare:
+				k = kindSmartNoise
+			case u < cfg.SmartNoiseShare+cfg.BurstShare:
+				k = kindBurst
+			}
+			if err := simulateDrive(res, &stats, sn, &v, k, -1, &cfg, causes, causeWeights); err != nil {
+				return nil, err
+			}
+		}
+		res.Stats = append(res.Stats, stats)
+	}
+	return res, nil
+}
+
+// simulateDrive runs one drive through the window, appending its
+// telemetry, ground truth, and (for faulty drives) its trouble ticket.
+func simulateDrive(res *Result, stats *VendorStats, sn string, v *VendorSpec, k kind, failDay int, cfg *Config, causes []ticket.Cause, causeWeights []float64) error {
+	r := driveRNG(cfg.Seed, sn)
+	d := newDriveState(r, sn, v, k, failDay, cfg)
+	if d.kind == kindBurst {
+		d.burstStart = r.Intn(cfg.Days)
+	}
+	d.placeEpisodes(r, cfg.Days)
+
+	lastDay := cfg.Days - 1
+	if d.failDay >= 0 {
+		lastDay = d.failDay
+	}
+	// Some users abandon a flaky machine before it dies outright, so
+	// telemetry ends early and the gap to the eventual ticket widens.
+	abandoned := false
+	if d.failDay >= 0 && cfg.AbandonShare > 0 && r.Float64() < cfg.AbandonShare {
+		abandoned = true
+		lastDay -= 1 + r.Intn(cfg.AbandonMaxDays)
+		if lastDay < 0 {
+			lastDay = 0
+		}
+	}
+	var failHours float64
+	for day := 0; day <= lastDay; day++ {
+		powered := r.Float64() < d.usage.onProb[day%7]
+		// The machine is certainly on the day it dies: the failure is
+		// what the user notices. (Unless the user already gave up on it.)
+		if day == d.failDay && !abandoned {
+			powered = true
+		}
+		if !powered {
+			continue
+		}
+		rec := d.stepDay(r, day, cfg)
+		if err := res.Data.Append(rec); err != nil {
+			return err
+		}
+		if d.failDay >= 0 {
+			// The age at the last observation approximates the age at
+			// death (exact when the final record lands on the failure
+			// day, which it does unless the user abandoned the machine).
+			failHours = rec.Smart.Get(smartattr.PowerOnHours)
+		}
+	}
+
+	truth := DriveTruth{
+		SerialNumber:     sn,
+		Vendor:           v.Name,
+		Model:            d.model.Name,
+		Firmware:         string(d.fw.Version),
+		FirmwareSeq:      d.fw.Seq,
+		Faulty:           k.Faulty(),
+		Sudden:           k == kindSudden,
+		FailDay:          d.failDay,
+		FailPowerOnHours: failHours,
+		Kind:             k.String(),
+	}
+	res.Truth[sn] = truth
+
+	if k.Faulty() {
+		stats.FailuresByFirmwareSeq[d.fw.Seq]++
+		delay := geometricDelay(r, cfg.TicketDelayMeanDays, cfg.TicketDelayMaxDays)
+		cause := weightedIndex(r, causeWeights)
+		res.Tickets.Add(ticket.Ticket{
+			SerialNumber: sn,
+			IMT:          d.failDay + delay,
+			Cause:        cause,
+			Description:  causes[cause].Name,
+		})
+	}
+	return nil
+}

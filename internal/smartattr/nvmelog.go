@@ -1,0 +1,123 @@
+package smartattr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// HealthLogSize is the size of the NVMe SMART / Health Information log
+// page (Log Identifier 02h).
+const HealthLogSize = 512
+
+// Byte offsets within the health log page, per the NVM Express base
+// specification. The 16-byte fields are little-endian unsigned 128-bit
+// integers; values beyond 2^53 lose precision in the float64 catalogue
+// representation, which is irrelevant at consumer-drive magnitudes.
+const (
+	offCriticalWarning     = 0
+	offCompositeTemp       = 1 // uint16, Kelvin
+	offAvailableSpare      = 3
+	offSpareThreshold      = 4
+	offPercentageUsed      = 5
+	offDataUnitsRead       = 32
+	offDataUnitsWritten    = 48
+	offHostReadCommands    = 64
+	offHostWriteCommands   = 80
+	offControllerBusyTime  = 96
+	offPowerCycles         = 112
+	offPowerOnHours        = 128
+	offUnsafeShutdowns     = 144
+	offMediaErrors         = 160
+	offErrorInfoLogEntries = 176
+)
+
+// ParseHealthLog decodes an NVMe SMART / Health Information log page
+// into the attribute catalogue's value vector. The drive capacity is
+// not part of the log page (it comes from Identify Namespace), so the
+// caller supplies it.
+func ParseHealthLog(page []byte, capacityGB float64) (Values, error) {
+	var v Values
+	if len(page) != HealthLogSize {
+		return v, fmt.Errorf("smartattr: health log is %d bytes, want %d", len(page), HealthLogSize)
+	}
+	v.Set(CriticalWarning, float64(page[offCriticalWarning]))
+	v.Set(CompositeTemperature, float64(binary.LittleEndian.Uint16(page[offCompositeTemp:])))
+	v.Set(AvailableSpare, float64(page[offAvailableSpare]))
+	v.Set(AvailableSpareThreshold, float64(page[offSpareThreshold]))
+	v.Set(PercentageUsed, float64(page[offPercentageUsed]))
+	v.Set(DataUnitsRead, u128(page[offDataUnitsRead:]))
+	v.Set(DataUnitsWritten, u128(page[offDataUnitsWritten:]))
+	v.Set(HostReadCommands, u128(page[offHostReadCommands:]))
+	v.Set(HostWriteCommands, u128(page[offHostWriteCommands:]))
+	v.Set(ControllerBusyTime, u128(page[offControllerBusyTime:]))
+	v.Set(PowerCycles, u128(page[offPowerCycles:]))
+	v.Set(PowerOnHours, u128(page[offPowerOnHours:]))
+	v.Set(UnsafeShutdowns, u128(page[offUnsafeShutdowns:]))
+	v.Set(MediaErrors, u128(page[offMediaErrors:]))
+	v.Set(ErrorLogEntries, u128(page[offErrorInfoLogEntries:]))
+	v.Set(Capacity, capacityGB)
+	return v, nil
+}
+
+// MarshalHealthLog encodes the catalogue vector back into a log page
+// (capacity is dropped: it is not a log-page field). Values are clamped
+// to their field ranges and truncated to integers, mirroring what a
+// controller would report.
+func MarshalHealthLog(v *Values) []byte {
+	page := make([]byte, HealthLogSize)
+	page[offCriticalWarning] = clamp8(v.Get(CriticalWarning))
+	binary.LittleEndian.PutUint16(page[offCompositeTemp:], clamp16(v.Get(CompositeTemperature)))
+	page[offAvailableSpare] = clamp8(v.Get(AvailableSpare))
+	page[offSpareThreshold] = clamp8(v.Get(AvailableSpareThreshold))
+	page[offPercentageUsed] = clamp8(v.Get(PercentageUsed))
+	putU128(page[offDataUnitsRead:], v.Get(DataUnitsRead))
+	putU128(page[offDataUnitsWritten:], v.Get(DataUnitsWritten))
+	putU128(page[offHostReadCommands:], v.Get(HostReadCommands))
+	putU128(page[offHostWriteCommands:], v.Get(HostWriteCommands))
+	putU128(page[offControllerBusyTime:], v.Get(ControllerBusyTime))
+	putU128(page[offPowerCycles:], v.Get(PowerCycles))
+	putU128(page[offPowerOnHours:], v.Get(PowerOnHours))
+	putU128(page[offUnsafeShutdowns:], v.Get(UnsafeShutdowns))
+	putU128(page[offMediaErrors:], v.Get(MediaErrors))
+	putU128(page[offErrorInfoLogEntries:], v.Get(ErrorLogEntries))
+	return page
+}
+
+// u128 reads a little-endian unsigned 128-bit integer as float64. The
+// high 64 bits are folded in at 2^64 scale; consumer counters never get
+// near that, but the decode stays total.
+func u128(b []byte) float64 {
+	lo := binary.LittleEndian.Uint64(b)
+	hi := binary.LittleEndian.Uint64(b[8:])
+	return float64(lo) + float64(hi)*math.Pow(2, 64)
+}
+
+func putU128(b []byte, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	// Counters at consumer magnitudes fit in 64 bits.
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	binary.LittleEndian.PutUint64(b[8:], 0)
+}
+
+func clamp8(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+func clamp16(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(v)
+}

@@ -1,0 +1,137 @@
+package smartattr
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseHealthLogRejectsBadSize(t *testing.T) {
+	if _, err := ParseHealthLog(make([]byte, 511), 512); err == nil {
+		t.Fatal("short page accepted")
+	}
+	if _, err := ParseHealthLog(make([]byte, 513), 512); err == nil {
+		t.Fatal("long page accepted")
+	}
+}
+
+func TestParseHealthLogOffsets(t *testing.T) {
+	page := make([]byte, HealthLogSize)
+	page[0] = 0x04                                   // critical warning: reliability degraded
+	binary.LittleEndian.PutUint16(page[1:], 327)     // composite temperature
+	page[3] = 98                                     // available spare
+	page[4] = 10                                     // spare threshold
+	page[5] = 7                                      // percentage used
+	binary.LittleEndian.PutUint64(page[128:], 12345) // power-on hours
+	binary.LittleEndian.PutUint64(page[160:], 42)    // media errors
+	binary.LittleEndian.PutUint64(page[176:], 99)    // error log entries
+	binary.LittleEndian.PutUint64(page[32:], 1<<40)  // data units read
+
+	v, err := ParseHealthLog(page, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[ID]float64{
+		CriticalWarning:         4,
+		CompositeTemperature:    327,
+		AvailableSpare:          98,
+		AvailableSpareThreshold: 10,
+		PercentageUsed:          7,
+		PowerOnHours:            12345,
+		MediaErrors:             42,
+		ErrorLogEntries:         99,
+		DataUnitsRead:           float64(uint64(1) << 40),
+		Capacity:                512,
+	}
+	for id, want := range checks {
+		if got := v.Get(id); got != want {
+			t.Errorf("%v = %g, want %g", id, got, want)
+		}
+	}
+}
+
+func TestHealthLogRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var v Values
+		v.Set(CriticalWarning, float64(r.Intn(32)))
+		v.Set(CompositeTemperature, float64(280+r.Intn(120)))
+		v.Set(AvailableSpare, float64(r.Intn(101)))
+		v.Set(AvailableSpareThreshold, float64(r.Intn(50)))
+		v.Set(PercentageUsed, float64(r.Intn(120)))
+		v.Set(DataUnitsRead, float64(r.Int63n(1<<50)))
+		v.Set(DataUnitsWritten, float64(r.Int63n(1<<50)))
+		v.Set(HostReadCommands, float64(r.Int63n(1<<50)))
+		v.Set(HostWriteCommands, float64(r.Int63n(1<<50)))
+		v.Set(ControllerBusyTime, float64(r.Int63n(1<<30)))
+		v.Set(PowerCycles, float64(r.Int63n(100000)))
+		v.Set(PowerOnHours, float64(r.Int63n(100000)))
+		v.Set(UnsafeShutdowns, float64(r.Int63n(10000)))
+		v.Set(MediaErrors, float64(r.Int63n(100000)))
+		v.Set(ErrorLogEntries, float64(r.Int63n(100000)))
+		v.Set(Capacity, 1024)
+
+		page := MarshalHealthLog(&v)
+		got, err := ParseHealthLog(page, 1024)
+		if err != nil {
+			return false
+		}
+		return got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalHealthLogClamps(t *testing.T) {
+	var v Values
+	v.Set(AvailableSpare, 400)       // > 255
+	v.Set(CompositeTemperature, 1e9) // > uint16
+	v.Set(MediaErrors, -5)           // negative
+	page := MarshalHealthLog(&v)
+	if page[offAvailableSpare] != 255 {
+		t.Errorf("spare clamped to %d", page[offAvailableSpare])
+	}
+	if binary.LittleEndian.Uint16(page[offCompositeTemp:]) != 65535 {
+		t.Error("temperature not clamped")
+	}
+	if binary.LittleEndian.Uint64(page[offMediaErrors:]) != 0 {
+		t.Error("negative counter not clamped to 0")
+	}
+}
+
+func TestSimulatedDriveSurvivesLogPageRoundTrip(t *testing.T) {
+	// SMART vectors produced by the simulator (integral counters,
+	// bounded gauges) must survive the wire format.
+	var v Values
+	v.Set(CriticalWarning, 0)
+	v.Set(CompositeTemperature, 311)
+	v.Set(AvailableSpare, 93)
+	v.Set(AvailableSpareThreshold, 10)
+	v.Set(PercentageUsed, 12)
+	v.Set(DataUnitsRead, 5.1234e9)
+	v.Set(DataUnitsWritten, 2.75e9)
+	v.Set(HostReadCommands, 1.5e11)
+	v.Set(HostWriteCommands, 8e10)
+	v.Set(ControllerBusyTime, 54321)
+	v.Set(PowerCycles, 812)
+	v.Set(PowerOnHours, 6144)
+	v.Set(UnsafeShutdowns, 9)
+	v.Set(MediaErrors, 37)
+	v.Set(ErrorLogEntries, 91)
+	v.Set(Capacity, 256)
+
+	// Non-integral float counters truncate like a controller would.
+	page := MarshalHealthLog(&v)
+	got, err := ParseHealthLog(page, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(DataUnitsRead) != 5123400000 {
+		t.Errorf("DataUnitsRead = %g", got.Get(DataUnitsRead))
+	}
+	if got.Get(PowerOnHours) != 6144 || got.Get(MediaErrors) != 37 {
+		t.Error("counters corrupted")
+	}
+}

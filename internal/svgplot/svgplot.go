@@ -1,0 +1,226 @@
+// Package svgplot renders the repository's experiment results as
+// self-contained SVG figures using only the standard library, so
+// `mfpareport -svg` can regenerate the paper's figures as images, not
+// just text tables. It implements exactly the two chart forms the
+// paper's evaluation uses: line charts (trajectories, monthly series,
+// lookahead decay) and bar charts (histograms, per-group/vendor rates).
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Canvas geometry (pixels).
+const (
+	width   = 640
+	height  = 400
+	marginL = 70
+	marginR = 30
+	marginT = 50
+	marginB = 60
+)
+
+// palette cycles across series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf"}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart describes a multi-series line figure.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax fix the value axis; both zero selects auto-scaling.
+	YMin, YMax float64
+}
+
+// Render produces the SVG document.
+func (c *LineChart) Render() ([]byte, error) {
+	if len(c.Series) == 0 {
+		return nil, fmt.Errorf("svgplot: line chart %q has no series", c.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return nil, fmt.Errorf("svgplot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return nil, fmt.Errorf("svgplot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	var b strings.Builder
+	writeHeader(&b, c.Title, c.XLabel, c.YLabel)
+	writeAxes(&b, xmin, xmax, ymin, ymax, false, nil)
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var path strings.Builder
+		for i := range s.X {
+			px, py := project(s.X[i], s.Y[i], xmin, xmax, ymin, ymax)
+			if i == 0 {
+				fmt.Fprintf(&path, "M%.1f,%.1f", px, py)
+			} else {
+				fmt.Fprintf(&path, " L%.1f,%.1f", px, py)
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", path.String(), color)
+		for i := range s.X {
+			px, py := project(s.X[i], s.Y[i], xmin, xmax, ymin, ymax)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px, py, color)
+		}
+		// Legend row.
+		lx, ly := float64(marginL+10), float64(marginT+14*(si+1))
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+14, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+// BarChart describes a categorical bar figure (optionally grouped).
+type BarChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Labels name the categories along x.
+	Labels []string
+	// Groups are parallel value sets, one bar per category per group.
+	Groups []Series // only Name and Y are used; len(Y) == len(Labels)
+}
+
+// Render produces the SVG document.
+func (c *BarChart) Render() ([]byte, error) {
+	if len(c.Labels) == 0 || len(c.Groups) == 0 {
+		return nil, fmt.Errorf("svgplot: bar chart %q is empty", c.Title)
+	}
+	ymax := math.Inf(-1)
+	for _, g := range c.Groups {
+		if len(g.Y) != len(c.Labels) {
+			return nil, fmt.Errorf("svgplot: group %q has %d values for %d labels", g.Name, len(g.Y), len(c.Labels))
+		}
+		for _, v := range g.Y {
+			if v < 0 {
+				return nil, fmt.Errorf("svgplot: bar chart %q has negative value", c.Title)
+			}
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	var b strings.Builder
+	writeHeader(&b, c.Title, c.XLabel, c.YLabel)
+	writeAxes(&b, 0, float64(len(c.Labels)), 0, ymax, true, c.Labels)
+
+	plotW := float64(width - marginL - marginR)
+	slot := plotW / float64(len(c.Labels))
+	barW := slot * 0.7 / float64(len(c.Groups))
+	for gi, g := range c.Groups {
+		color := palette[gi%len(palette)]
+		for i, v := range g.Y {
+			x := float64(marginL) + slot*float64(i) + slot*0.15 + barW*float64(gi)
+			_, top := project(0, v, 0, 1, 0, ymax)
+			h := float64(height-marginB) - top
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barW, h, color)
+		}
+		if len(c.Groups) > 1 {
+			lx, ly := float64(marginL+10), float64(marginT+14*(gi+1))
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+14, ly, escape(g.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+// project maps a data point into pixel coordinates.
+func project(x, y, xmin, xmax, ymin, ymax float64) (px, py float64) {
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px = float64(marginL) + (x-xmin)/(xmax-xmin)*plotW
+	py = float64(height-marginB) - (y-ymin)/(ymax-ymin)*plotH
+	return px, py
+}
+
+func writeHeader(b *strings.Builder, title, xlabel, ylabel string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`+"\n", width/2, escape(title))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n", width/2, height-14, escape(xlabel))
+	fmt.Fprintf(b, `<text x="18" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n", height/2, height/2, escape(ylabel))
+}
+
+// writeAxes draws the frame, y ticks, and either numeric x ticks or
+// category labels.
+func writeAxes(b *strings.Builder, xmin, xmax, ymin, ymax float64, categorical bool, labels []string) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, width-marginL-marginR, height-marginT-marginB)
+	// Five y ticks.
+	for i := 0; i <= 4; i++ {
+		v := ymin + (ymax-ymin)*float64(i)/4
+		_, py := project(xmin, v, xmin, xmax, ymin, ymax)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, width-marginR, py)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+3, formatTick(v))
+	}
+	if categorical {
+		slot := float64(width-marginL-marginR) / float64(len(labels))
+		for i, lab := range labels {
+			x := float64(marginL) + slot*(float64(i)+0.5)
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x, height-marginB+16, escape(lab))
+		}
+		return
+	}
+	for i := 0; i <= 4; i++ {
+		v := xmin + (xmax-xmin)*float64(i)/4
+		px, _ := project(v, ymin, xmin, xmax, ymin, ymax)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, height-marginB+16, formatTick(v))
+	}
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

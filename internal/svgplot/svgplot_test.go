@@ -1,0 +1,161 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed parses the output as XML, the strongest structural check
+// available without a renderer.
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, data)
+		}
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title:  "Fig 19: TPR vs lookahead",
+		XLabel: "N (days)",
+		YLabel: "TPR",
+		Series: []Series{
+			{Name: "TPR", X: []float64{1, 5, 9, 13}, Y: []float64{0.98, 0.95, 0.82, 0.66}},
+			{Name: "baseline", X: []float64{1, 5, 9, 13}, Y: []float64{0.1, 0.1, 0.1, 0.1}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, out)
+	s := string(out)
+	for _, want := range []string{"Fig 19", "TPR", "N (days)", "<path", "<circle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (&LineChart{Title: "x"}).Render(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &LineChart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	empty := &LineChart{Series: []Series{{Name: "a"}}}
+	if _, err := empty.Render(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	// Constant x and y must not divide by zero.
+	c := &LineChart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{2, 2}, Y: []float64{5, 5}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, out)
+	if strings.Contains(string(out), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:  "Fig 9: feature groups",
+		XLabel: "Group",
+		YLabel: "TPR",
+		Labels: []string{"SFWB", "SF", "S"},
+		Groups: []Series{
+			{Name: "TPR", Y: []float64{0.98, 0.90, 0.89}},
+			{Name: "FPR", Y: []float64{0.006, 0.02, 0.02}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, out)
+	s := string(out)
+	if strings.Count(s, "<rect") < 6 { // frame + background + 6 bars + legends
+		t.Fatalf("too few rects:\n%s", s)
+	}
+	if !strings.Contains(s, "SFWB") {
+		t.Fatal("category labels missing")
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{}).Render(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &BarChart{Labels: []string{"a"}, Groups: []Series{{Y: []float64{1, 2}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Fatal("mismatched group accepted")
+	}
+	neg := &BarChart{Labels: []string{"a"}, Groups: []Series{{Y: []float64{-1}}}}
+	if _, err := neg.Render(); err == nil {
+		t.Fatal("negative bar accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &LineChart{
+		Title:  `<&"> injection`,
+		Series: []Series{{Name: "a<b", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, out)
+	if strings.Contains(string(out), "<&") {
+		t.Fatal("unescaped markup")
+	}
+}
+
+func TestLineChartAlwaysWellFormedProperty(t *testing.T) {
+	f := func(seedVals []float64, name string) bool {
+		if len(seedVals) == 0 {
+			return true
+		}
+		if len(seedVals) > 50 {
+			seedVals = seedVals[:50]
+		}
+		xs := make([]float64, len(seedVals))
+		ys := make([]float64, len(seedVals))
+		for i, v := range seedVals {
+			// Sanitise NaN/Inf: the caller contract is finite data.
+			if v != v || v > 1e12 || v < -1e12 {
+				v = 0
+			}
+			xs[i] = float64(i)
+			ys[i] = v
+		}
+		c := &LineChart{Title: name, Series: []Series{{Name: name, X: xs, Y: ys}}}
+		out, err := c.Render()
+		if err != nil {
+			return false
+		}
+		return !strings.Contains(string(out), "NaN")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package ticket
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the interchange layout shared by mfpagen and mfpatrain.
+var csvHeader = []string{"sn", "imt", "cause", "description"}
+
+// WriteCSV writes the store's tickets, drives in S/N order and each
+// drive's tickets in IMT order.
+func WriteCSV(w io.Writer, s *Store) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("ticket: write header: %w", err)
+	}
+	for _, sn := range s.SerialNumbers() {
+		for _, t := range s.Lookup(sn) {
+			row := []string{t.SerialNumber, strconv.Itoa(t.IMT), strconv.Itoa(t.Cause), t.Description}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("ticket: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a ticket store previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Store, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ticket: read header: %w", err)
+	}
+	for i := range csvHeader {
+		if header[i] != csvHeader[i] {
+			return nil, fmt.Errorf("ticket: header column %d is %q, want %q", i, header[i], csvHeader[i])
+		}
+	}
+	store := NewStore()
+	nCauses := len(AllCauses())
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ticket: line %d: %w", line, err)
+		}
+		imt, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: line %d: bad IMT %q: %w", line, row[1], err)
+		}
+		cause, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: line %d: bad cause %q: %w", line, row[2], err)
+		}
+		if cause < 0 || cause >= nCauses {
+			return nil, fmt.Errorf("ticket: line %d: cause %d out of [0,%d)", line, cause, nCauses)
+		}
+		store.Add(Ticket{SerialNumber: row[0], IMT: imt, Cause: cause, Description: row[3]})
+	}
+	return store, nil
+}
