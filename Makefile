@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race bench report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises every parallelised stage (the parallel engine, fleet
+# simulation, cleaning, extraction, training, search) under the race
+# detector; determinism tests double as ordering checks.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/features
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search
+
+report:
+	$(GO) run ./cmd/mfpareport -scale 0.2

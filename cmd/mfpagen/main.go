@@ -34,6 +34,7 @@ func main() {
 		days        = flag.Int("days", 0, "observation window length in days (0 = default)")
 		scale       = flag.Float64("scale", 0.2, "failure-count scale factor")
 		drift       = flag.Bool("drift", false, "use the drifting-fleet configuration (Figs. 12/16)")
+		workers     = flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.FailureScale = *scale
+	cfg.Workers = *workers
 	if *days > 0 {
 		cfg.Days = *days
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/simfleet"
 )
 
 func main() {
@@ -24,11 +25,12 @@ func main() {
 	log.SetPrefix("mfpareport: ")
 
 	var (
-		exp    = flag.String("exp", "", "experiment name (empty = all); see -list")
-		scale  = flag.Float64("scale", 0.2, "failure-count scale factor")
-		seed   = flag.Int64("seed", 1, "fleet seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		svgDir = flag.String("svg", "", "directory to write SVG figures into (optional)")
+		exp     = flag.String("exp", "", "experiment name (empty = all); see -list")
+		scale   = flag.Float64("scale", 0.2, "failure-count scale factor")
+		seed    = flag.Int64("seed", 1, "fleet seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		svgDir  = flag.String("svg", "", "directory to write SVG figures into (optional)")
+		workers = flag.Int("workers", 0, "worker goroutines for simulation and experiments (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -46,7 +48,11 @@ func main() {
 	}
 
 	start := time.Now()
-	ctx, err := experiments.NewContext(*scale, *seed)
+	fleetCfg := simfleet.DefaultConfig()
+	fleetCfg.FailureScale = *scale
+	fleetCfg.Seed = *seed
+	fleetCfg.Workers = *workers
+	ctx, err := experiments.NewContextWith(fleetCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

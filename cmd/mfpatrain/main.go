@@ -38,6 +38,7 @@ func main() {
 		posWindow   = flag.Int("window", 7, "positive sample window in days")
 		ratio       = flag.Float64("ratio", 3, "negative under-sampling ratio")
 		savePath    = flag.String("save", "", "write the trained model envelope to this path (optional)")
+		workers     = flag.Int("workers", 0, "worker goroutines for simulation and pipeline stages (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 	cfg.Theta = *theta
 	cfg.PositiveWindowDays = *posWindow
 	cfg.NegativeRatio = *ratio
+	cfg.Workers = *workers
 
 	if *dataPath != "" {
 		if *ticketsPath == "" {
@@ -75,6 +77,7 @@ func main() {
 		fleetCfg := simfleet.DefaultConfig()
 		fleetCfg.Seed = *seed
 		fleetCfg.FailureScale = *scale
+		fleetCfg.Workers = *workers
 		fleet, err := simfleet.Simulate(fleetCfg)
 		if err != nil {
 			log.Fatal(err)

@@ -43,15 +43,16 @@ func (a Algorithm) Sequential() bool { return a == AlgoCNNLSTM }
 
 // newTrainer instantiates the algorithm with the repository's default
 // hyper-parameters (chosen by the grid-search experiment). width and
-// seqLen parameterise the CNN_LSTM input shape.
-func (a Algorithm) newTrainer(seed int64, width, seqLen int) (ml.Trainer, error) {
+// seqLen parameterise the CNN_LSTM input shape; workers bounds the
+// training parallelism of the ensemble learners.
+func (a Algorithm) newTrainer(seed int64, width, seqLen, workers int) (ml.Trainer, error) {
 	switch a {
 	case AlgoBayes:
 		return &bayes.Trainer{}, nil
 	case AlgoSVM:
 		return &svm.Trainer{Lambda: 1e-4, Epochs: 30, Seed: seed, Standardize: true}, nil
 	case AlgoRF:
-		return &forest.Trainer{Trees: 100, MaxDepth: 12, Seed: seed}, nil
+		return &forest.Trainer{Trees: 100, MaxDepth: 12, Seed: seed, Parallelism: workers}, nil
 	case AlgoGBDT:
 		return &gbdt.Trainer{Rounds: 120, LearningRate: 0.1, MaxDepth: 4, Subsample: 0.8, Seed: seed}, nil
 	case AlgoCNNLSTM:
@@ -116,6 +117,13 @@ type Config struct {
 	// CVFolds is the k of the time-series cross-validation used for
 	// threshold calibration (and exposed for grid search); 0 selects 3.
 	CVFolds int
+	// Workers bounds the goroutines of every parallelised pipeline
+	// stage: discontinuity cleaning, feature extraction, batch scoring,
+	// and tree-ensemble training. 0 selects GOMAXPROCS; 1 pins the
+	// whole pipeline to serial execution for debugging. Outputs are
+	// identical at any setting — every fan-out merges in deterministic
+	// order and draws randomness from pre-assigned seeds.
+	Workers int
 }
 
 // DefaultConfig returns the paper's best configuration: per-vendor RF

@@ -38,10 +38,12 @@ func EvaluateSamples(clf ml.Classifier, samples []ml.Sample) Evaluation {
 }
 
 // EvaluateSamplesAt scores every sample at the given decision threshold
-// and aggregates at both granularities.
+// and aggregates at both granularities. The scoring pass fans out
+// across GOMAXPROCS goroutines; aggregation is serial and in sample
+// order, so the evaluation is identical at any parallelism.
 func EvaluateSamplesAt(clf ml.Classifier, samples []ml.Sample, threshold float64) Evaluation {
 	var ev Evaluation
-	scores := make([]float64, len(samples))
+	scores := ml.BatchScores(clf, samples, 0)
 	labels := make([]int, len(samples))
 
 	type driveAgg struct {
@@ -51,8 +53,7 @@ func EvaluateSamplesAt(clf ml.Classifier, samples []ml.Sample, threshold float64
 	drives := make(map[string]*driveAgg)
 
 	for i := range samples {
-		p := clf.PredictProba(samples[i].X)
-		scores[i] = p
+		p := scores[i]
 		labels[i] = samples[i].Y
 		pred := 0
 		if p >= threshold {

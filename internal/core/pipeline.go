@@ -53,7 +53,7 @@ func Prepare(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Prepare
 		// Cumulate mutates records in place.
 		p.Data = data.Clone()
 	} else {
-		cleaned, stats, err := dataset.CleanDiscontinuity(data, cfg.GapPolicy)
+		cleaned, stats, err := dataset.CleanDiscontinuityWorkers(data, cfg.GapPolicy, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -88,6 +88,7 @@ func Prepare(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Prepare
 func (p *Prepared) BuildSamples() ([]ml.Sample, error) {
 	opts := features.DefaultBuildOptions()
 	opts.PositiveWindowDays = p.Config.PositiveWindowDays
+	opts.Workers = p.Config.Workers
 	if p.Config.Algorithm.Sequential() {
 		return features.BuildSeqSamples(p.Data, p.Labels, p.Extractor, p.Config.SeqLen, opts)
 	}
@@ -162,7 +163,7 @@ func Train(p *Prepared, tests ...[]ml.Sample) (*Model, *TrainReport, error) {
 	_, report.TestPos = ml.ClassCounts(test)
 
 	width := p.Extractor.Width()
-	trainer, err := cfg.Algorithm.newTrainer(cfg.Seed, width, cfg.SeqLen)
+	trainer, err := cfg.Algorithm.newTrainer(cfg.Seed, width, cfg.SeqLen, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -229,8 +230,8 @@ func calibrateThreshold(trainer ml.Trainer, trainFull []ml.Sample, cfg Config) (
 		if err != nil {
 			return 0, err
 		}
+		scores = append(scores, ml.BatchScores(clf, fold.Val, cfg.Workers)...)
 		for i := range fold.Val {
-			scores = append(scores, clf.PredictProba(fold.Val[i].X))
 			labels = append(labels, fold.Val[i].Y)
 		}
 	}

@@ -33,6 +33,27 @@ func BenchmarkCleanDiscontinuity(b *testing.B) {
 	}
 }
 
+// BenchmarkCleanDiscontinuityWorkers compares the serial per-drive
+// cleaning loop against the full fan-out.
+func BenchmarkCleanDiscontinuityWorkers(b *testing.B) {
+	d := benchDataset(b, 200, 120)
+	policy := DefaultGapPolicy()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := CleanDiscontinuityWorkers(d, policy, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCumulate(b *testing.B) {
 	d := benchDataset(b, 200, 120)
 	b.ReportAllocs()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bsod"
+	"repro/internal/parallel"
 	"repro/internal/winevent"
 )
 
@@ -54,32 +55,54 @@ type CleanStats struct {
 // between FillGap and DropGap are left as-is — the series survives but
 // keeps its hole, which is exactly the data-quality hazard the paper
 // notes for time-series models such as CNN_LSTM.
+//
+// Per-drive gap analysis and filling fan out across GOMAXPROCS
+// goroutines; use CleanDiscontinuityWorkers to pin the worker count
+// (1 = serial). Output is identical at any setting.
 func CleanDiscontinuity(d *Dataset, policy GapPolicy) (*Dataset, CleanStats, error) {
+	return CleanDiscontinuityWorkers(d, policy, 0)
+}
+
+// CleanDiscontinuityWorkers is CleanDiscontinuity with an explicit
+// worker count (0 = GOMAXPROCS, 1 = serial). Drives are filtered and
+// filled independently and merged in dataset order, so the result does
+// not depend on workers.
+func CleanDiscontinuityWorkers(d *Dataset, policy GapPolicy, workers int) (*Dataset, CleanStats, error) {
 	if err := policy.Validate(); err != nil {
 		return nil, CleanStats{}, err
 	}
 	stats := CleanStats{DrivesIn: d.Drives(), RecordsIn: d.Len()}
-	out := New()
-	var err error
-	d.Each(func(s *DriveSeries) {
-		if err != nil {
-			return
-		}
+
+	type cleaned struct {
+		dropped bool
+		series  *DriveSeries
+		filled  int
+	}
+	outs, err := parallel.Map(len(d.order), workers, func(i int) (cleaned, error) {
+		s := d.bySN[d.order[i]]
 		if s.MaxGap() >= policy.DropGap {
-			stats.DrivesDropped++
-			return
+			return cleaned{dropped: true}, nil
 		}
 		filled, n := fillSeries(s, policy.FillGap)
-		stats.RecordsFilled += n
-		for _, r := range filled.Records {
-			if e := out.Append(r); e != nil {
-				err = e
-				return
-			}
-		}
+		return cleaned{series: filled, filled: n}, nil
 	})
 	if err != nil {
 		return nil, CleanStats{}, err
+	}
+
+	out := New()
+	for i := range outs {
+		c := &outs[i]
+		if c.dropped {
+			stats.DrivesDropped++
+			continue
+		}
+		stats.RecordsFilled += c.filled
+		for _, r := range c.series.Records {
+			if err := out.Append(r); err != nil {
+				return nil, CleanStats{}, err
+			}
+		}
 	}
 	return out, stats, nil
 }
@@ -88,6 +111,15 @@ func CleanDiscontinuity(d *Dataset, policy GapPolicy) (*Dataset, CleanStats, err
 // the filled series plus the number of records synthesised.
 func fillSeries(s *DriveSeries, fillGap int) (*DriveSeries, int) {
 	out := &DriveSeries{SerialNumber: s.SerialNumber, Vendor: s.Vendor, Model: s.Model}
+	// Size the output exactly: one slot per record plus one per filled
+	// day, so the append loop never reallocates.
+	extra := 0
+	for i := 1; i < len(s.Records); i++ {
+		if g := s.Records[i].Day - s.Records[i-1].Day; g >= 2 && g <= fillGap {
+			extra += g - 1
+		}
+	}
+	out.Records = make([]Record, 0, len(s.Records)+extra)
 	filled := 0
 	for i := range s.Records {
 		if i > 0 {

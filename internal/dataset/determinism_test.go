@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// gapDataset builds a fleet whose drives exercise every cleaning
+// outcome: contiguous series, fillable short gaps, and drop-worthy
+// long gaps, in a mix that varies per drive.
+func gapDataset(t *testing.T, drives int) *Dataset {
+	t.Helper()
+	d := New()
+	for dr := 0; dr < drives; dr++ {
+		sn := fmt.Sprintf("D%03d", dr)
+		step := 1 + dr%4 // gap sizes 0..3 between observations
+		for day := 0; day < 50; day += step {
+			r := rec(sn, day)
+			r.WCounts[0] = float64(day % 3)
+			mustAppend(t, d, r)
+		}
+		if dr%7 == 0 { // every 7th drive earns a drop-worthy gap
+			mustAppend(t, d, rec(sn, 80))
+		}
+	}
+	return d
+}
+
+// TestCleanWorkersIdentical asserts the per-drive cleaning fan-out is
+// bit-identical to the serial pass at every worker count.
+func TestCleanWorkersIdentical(t *testing.T) {
+	d := gapDataset(t, 40)
+	policy := DefaultGapPolicy()
+	want, wantStats, err := CleanDiscontinuityWorkers(d, policy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats.DrivesDropped == 0 || wantStats.RecordsFilled == 0 {
+		t.Fatalf("fixture exercises nothing: stats = %+v", wantStats)
+	}
+	for _, w := range []int{0, 2, 3, 8} {
+		got, stats, err := CleanDiscontinuityWorkers(d, policy, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if stats != wantStats {
+			t.Fatalf("workers=%d: stats = %+v, want %+v", w, stats, wantStats)
+		}
+		if !reflect.DeepEqual(got.SerialNumbers(), want.SerialNumbers()) {
+			t.Fatalf("workers=%d: drive order differs", w)
+		}
+		for _, sn := range want.SerialNumbers() {
+			ws, _ := want.Series(sn)
+			gs, _ := got.Series(sn)
+			if !reflect.DeepEqual(gs, ws) {
+				t.Fatalf("workers=%d: drive %s differs after cleaning", w, sn)
+			}
+		}
+	}
+}

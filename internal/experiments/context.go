@@ -32,6 +32,13 @@ type Context struct {
 	// order-preserving label encoding.
 	Registries map[string]*firmware.Registry
 
+	// Workers bounds the fan-out of every parallelised stage the
+	// experiments drive — pipeline preparation, grid search, feature
+	// selection — following the repository convention (0 = GOMAXPROCS,
+	// 1 = serial). It is seeded from the fleet config's Workers field
+	// and never changes results, only wall-clock time.
+	Workers int
+
 	driftFleet      *simfleet.Result
 	slowTicketFleet *simfleet.Result
 
@@ -59,6 +66,7 @@ func NewContextWith(cfg simfleet.Config) (*Context, error) {
 		Cfg:         cfg,
 		Fleet:       fleet,
 		Registries:  make(map[string]*firmware.Registry),
+		Workers:     cfg.Workers,
 		prepCache:   make(map[string]*core.Prepared),
 		sampleCache: make(map[string][]ml.Sample),
 	}
@@ -75,6 +83,7 @@ func (c *Context) PipelineConfig(vendor string, group features.Group) core.Confi
 	cfg.Group = group
 	cfg.Registries = c.Registries
 	cfg.Seed = c.Cfg.Seed
+	cfg.Workers = c.Workers
 	return cfg
 }
 

@@ -32,9 +32,11 @@ func (c *Context) Fig17() (*Fig17Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// A lighter forest keeps the O(width²) SFS affordable.
-	trainer := &forest.Trainer{Trees: 30, MaxDepth: 10, Seed: p.Config.Seed}
-	res, err := search.ForwardSelect(trainer, train, test, p.Extractor.Names(), 10, 1e-4)
+	// A lighter forest keeps the O(width²) SFS affordable. Candidates
+	// already fan out across c.Workers goroutines, so each forest grows
+	// serially to avoid oversubscription.
+	trainer := &forest.Trainer{Trees: 30, MaxDepth: 10, Seed: p.Config.Seed, Parallelism: 1}
+	res, err := search.ForwardSelectWorkers(trainer, train, test, p.Extractor.Names(), 10, 1e-4, c.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -48,7 +48,7 @@ func (c *Context) GridSearch() (*GridSearchResult, error) {
 		"max_depth":    {6, 12, 18},
 		"max_features": {-1, 12}, // -1 = √width
 	}
-	rfCandidates, rfBest, err := search.GridSearch(rfFactory, rfGrid, train, p.Config.CVFolds)
+	rfCandidates, rfBest, err := search.GridSearchWorkers(rfFactory, rfGrid, train, p.Config.CVFolds, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: RF grid: %w", err)
 	}
@@ -65,7 +65,7 @@ func (c *Context) GridSearch() (*GridSearchResult, error) {
 		"learning_rate": {0.05, 0.2},
 		"max_depth":     {3, 5},
 	}
-	gbdtCandidates, gbdtBest, err := search.GridSearch(gbdtFactory, gbdtGrid, train, p.Config.CVFolds)
+	gbdtCandidates, gbdtBest, err := search.GridSearchWorkers(gbdtFactory, gbdtGrid, train, p.Config.CVFolds, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: GBDT grid: %w", err)
 	}

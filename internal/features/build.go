@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/labeling"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 )
 
 // BuildOptions controls labelled-sample construction.
@@ -23,6 +24,10 @@ type BuildOptions struct {
 	// are dropped entirely — they are too close to failure to be safe
 	// negatives but too early to be confident positives.
 	ExclusionDays int
+	// Workers bounds the per-drive extraction goroutines; 0 selects
+	// GOMAXPROCS, 1 reproduces serial extraction. Sample content and
+	// order are identical at any setting.
+	Workers int
 }
 
 // DefaultBuildOptions matches the paper: 7-day positive window,
@@ -32,46 +37,78 @@ func DefaultBuildOptions() BuildOptions {
 }
 
 // BuildSamples constructs flat per-record samples from a cumulated,
-// cleaned dataset and its failure labels.
+// cleaned dataset and its failure labels. Extraction fans out across
+// opts.Workers goroutines (0 = GOMAXPROCS, 1 = serial); per-drive
+// sample slices are concatenated in dataset order, so the output is
+// identical at any worker count.
 func BuildSamples(data *dataset.Dataset, labels labeling.Labels, e *Extractor, opts BuildOptions) ([]ml.Sample, error) {
 	if opts.PositiveWindowDays < 1 {
 		return nil, fmt.Errorf("features: PositiveWindowDays %d must be ≥ 1", opts.PositiveWindowDays)
 	}
-	var samples []ml.Sample
-	data.Each(func(s *dataset.DriveSeries) {
-		label, faulty := labels[s.SerialNumber]
-		for i := range s.Records {
-			r := &s.Records[i]
-			var y int
-			switch {
-			case !faulty:
-				y = 0
-			case r.Day > label.FailDay:
-				// Post-failure stragglers (possible when the labelled
-				// day precedes the last log) are not trustworthy.
-				continue
-			case r.Day > label.FailDay-opts.PositiveWindowDays:
-				y = 1
-			case r.Day > label.FailDay-opts.PositiveWindowDays-opts.ExclusionDays:
-				continue // guard band
-			default:
-				if !opts.NegativeFromFaulty {
-					continue
-				}
-				y = 0
-			}
-			samples = append(samples, ml.Sample{
-				X:   e.Extract(r),
-				Y:   y,
-				SN:  s.SerialNumber,
-				Day: r.Day,
-			})
-		}
+	// Register every firmware version serially before fanning out, so
+	// Extract performs only reads on the shared extractor.
+	e.prime(data)
+	sns := data.SerialNumbers()
+	perDrive, err := parallel.Map(len(sns), opts.Workers, func(i int) ([]ml.Sample, error) {
+		s, _ := data.Series(sns[i])
+		return buildDriveSamples(s, labels, e, &opts), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	samples := concatSamples(perDrive)
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("features: no samples produced")
 	}
 	return samples, nil
+}
+
+// buildDriveSamples labels and extracts one drive's records.
+func buildDriveSamples(s *dataset.DriveSeries, labels labeling.Labels, e *Extractor, opts *BuildOptions) []ml.Sample {
+	label, faulty := labels[s.SerialNumber]
+	samples := make([]ml.Sample, 0, len(s.Records))
+	for i := range s.Records {
+		r := &s.Records[i]
+		var y int
+		switch {
+		case !faulty:
+			y = 0
+		case r.Day > label.FailDay:
+			// Post-failure stragglers (possible when the labelled
+			// day precedes the last log) are not trustworthy.
+			continue
+		case r.Day > label.FailDay-opts.PositiveWindowDays:
+			y = 1
+		case r.Day > label.FailDay-opts.PositiveWindowDays-opts.ExclusionDays:
+			continue // guard band
+		default:
+			if !opts.NegativeFromFaulty {
+				continue
+			}
+			y = 0
+		}
+		samples = append(samples, ml.Sample{
+			X:   e.Extract(r),
+			Y:   y,
+			SN:  s.SerialNumber,
+			Day: r.Day,
+		})
+	}
+	return samples
+}
+
+// concatSamples flattens per-drive sample slices with one exact-sized
+// allocation.
+func concatSamples(perDrive [][]ml.Sample) []ml.Sample {
+	total := 0
+	for _, p := range perDrive {
+		total += len(p)
+	}
+	samples := make([]ml.Sample, 0, total)
+	for _, p := range perDrive {
+		samples = append(samples, p...)
+	}
+	return samples
 }
 
 // BuildSeqSamples constructs sequence samples for the CNN_LSTM: sliding
@@ -88,17 +125,20 @@ func BuildSeqSamples(data *dataset.Dataset, labels labeling.Labels, e *Extractor
 	if opts.PositiveWindowDays < 1 {
 		return nil, fmt.Errorf("features: PositiveWindowDays %d must be ≥ 1", opts.PositiveWindowDays)
 	}
+	e.prime(data)
 	width := e.Width()
-	var samples []ml.Sample
-	data.Each(func(s *dataset.DriveSeries) {
+	sns := data.SerialNumbers()
+	perDrive, err := parallel.Map(len(sns), opts.Workers, func(di int) ([]ml.Sample, error) {
+		s, _ := data.Series(sns[di])
 		if len(s.Records) < seqLen {
-			return
+			return nil, nil
 		}
 		label, faulty := labels[s.SerialNumber]
 		vecs := make([][]float64, len(s.Records))
 		for i := range s.Records {
 			vecs[i] = e.Extract(&s.Records[i])
 		}
+		samples := make([]ml.Sample, 0, len(s.Records)-seqLen+1)
 		for end := seqLen - 1; end < len(s.Records); end++ {
 			last := &s.Records[end]
 			var y int
@@ -128,7 +168,12 @@ func BuildSeqSamples(data *dataset.Dataset, labels labeling.Labels, e *Extractor
 				Day: last.Day,
 			})
 		}
+		return samples, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	samples := concatSamples(perDrive)
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("features: no sequence samples produced")
 	}

@@ -82,6 +82,24 @@ func (e *Extractor) encoder(vendor string) *firmware.Encoder {
 	return enc
 }
 
+// prime registers every (vendor, firmware version) pair of data with
+// the extractor's encoders, visiting records in dataset order. After
+// priming, Extract performs only reads on the extractor, so the batch
+// builders can fan extraction out across goroutines; it also fixes the
+// first-seen-order codes of registry-unknown versions to dataset order
+// rather than extraction order, keeping the encoding independent of
+// scheduling. No-op for groups without the firmware feature.
+func (e *Extractor) prime(data *dataset.Dataset) {
+	if !e.group.Firmware {
+		return
+	}
+	data.Each(func(s *dataset.DriveSeries) {
+		for i := range s.Records {
+			e.encoder(s.Records[i].Vendor).Encode(s.Records[i].Firmware)
+		}
+	})
+}
+
 // Extract builds the feature vector of r. The W and B counters are used
 // as stored — run dataset.Cumulate first to follow the paper's
 // accumulated-count preprocessing.

@@ -1,0 +1,15 @@
+package ml
+
+import "repro/internal/parallel"
+
+// BatchScores scores every sample with clf, fanning the PredictProba
+// calls out across workers (0 = GOMAXPROCS, 1 = serial) and returning
+// the scores in sample order. Every classifier in this repository is
+// read-only during prediction, which is what makes the fan-out safe;
+// external Classifier implementations used with this helper must be
+// too. Scores are identical at any worker count.
+func BatchScores(clf Classifier, samples []Sample, workers int) []float64 {
+	return parallel.Collect(len(samples), workers, func(i int) float64 {
+		return clf.PredictProba(samples[i].X)
+	})
+}

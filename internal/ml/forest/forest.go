@@ -8,11 +8,10 @@ package forest
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/ml/tree"
+	"repro/internal/parallel"
 )
 
 // Trainer configures random forest training.
@@ -47,11 +46,6 @@ func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
 	if maxFeatures == 0 {
 		maxFeatures = -1 // tree.Config: √width
 	}
-	workers := t.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	xs := make([][]float64, len(samples))
 	ys := make([]float64, len(samples))
 	for i := range samples {
@@ -68,31 +62,25 @@ func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
 	}
 
 	m := &Model{trees: make([]*tree.Classifier, nTrees)}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for ti := 0; ti < nTrees; ti++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ti int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r := rand.New(rand.NewSource(seeds[ti]))
-			bootXs := make([][]float64, len(xs))
-			bootYs := make([]float64, len(xs))
-			for i := range bootXs {
-				j := r.Intn(len(xs))
-				bootXs[i] = xs[j]
-				bootYs[i] = ys[j]
-			}
-			m.trees[ti] = tree.GrowClassifier(bootXs, bootYs, tree.Config{
-				MaxDepth:       t.MaxDepth,
-				MinSamplesLeaf: t.MinSamplesLeaf,
-				MaxFeatures:    maxFeatures,
-				Seed:           seeds[ti],
-			})
-		}(ti)
+	if err := parallel.Do(nTrees, t.Parallelism, func(ti int) error {
+		r := rand.New(rand.NewSource(seeds[ti]))
+		bootXs := make([][]float64, len(xs))
+		bootYs := make([]float64, len(xs))
+		for i := range bootXs {
+			j := r.Intn(len(xs))
+			bootXs[i] = xs[j]
+			bootYs[i] = ys[j]
+		}
+		m.trees[ti] = tree.GrowClassifier(bootXs, bootYs, tree.Config{
+			MaxDepth:       t.MaxDepth,
+			MinSamplesLeaf: t.MinSamplesLeaf,
+			MaxFeatures:    maxFeatures,
+			Seed:           seeds[ti],
+		})
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return m, nil
 }
 

@@ -91,12 +91,16 @@ func Evaluate(clf ml.Classifier, samples []ml.Sample) Confusion {
 	return EvaluateAt(clf, samples, 0.5)
 }
 
-// EvaluateAt scores samples with a custom probability threshold.
+// EvaluateAt scores samples with a custom probability threshold. The
+// scoring pass fans out across GOMAXPROCS goroutines; the matrix is
+// identical at any parallelism because aggregation happens in sample
+// order.
 func EvaluateAt(clf ml.Classifier, samples []ml.Sample, threshold float64) Confusion {
+	scores := ml.BatchScores(clf, samples, 0)
 	var c Confusion
 	for i := range samples {
 		pred := 0
-		if clf.PredictProba(samples[i].X) >= threshold {
+		if scores[i] >= threshold {
 			pred = 1
 		}
 		c.Add(pred, samples[i].Y)
@@ -112,12 +116,12 @@ type ROCPoint struct {
 }
 
 // ROC computes the ROC curve of clf over samples, one point per
-// distinct score, ordered from the (0,0) corner to (1,1).
+// distinct score, ordered from the (0,0) corner to (1,1). Scoring fans
+// out across GOMAXPROCS goroutines with order-stable results.
 func ROC(clf ml.Classifier, samples []ml.Sample) []ROCPoint {
-	scores := make([]float64, len(samples))
+	scores := ml.BatchScores(clf, samples, 0)
 	labels := make([]int, len(samples))
 	for i := range samples {
-		scores[i] = clf.PredictProba(samples[i].X)
 		labels[i] = samples[i].Y
 	}
 	return ROCFromScores(scores, labels)

@@ -3,9 +3,8 @@ package search
 import (
 	"fmt"
 
-	"repro/internal/features"
 	"repro/internal/ml"
-	"repro/internal/ml/metrics"
+	"repro/internal/parallel"
 )
 
 // BackwardEliminate is the mirror image of ForwardSelect: starting from
@@ -15,8 +14,17 @@ import (
 // minFeatures is reached. Where SFS answers "which few features carry
 // the signal", SBS answers "which features can a deployment drop" —
 // useful when client-side collection of a channel (say, BSOD parsing)
-// has a real cost.
+// has a real cost. Drop candidates are evaluated on GOMAXPROCS
+// goroutines; use BackwardEliminateWorkers to pin the worker count.
 func BackwardEliminate(trainer ml.Trainer, train, val []ml.Sample, names []string, minFeatures int, maxLoss float64) (*SFSResult, error) {
+	return BackwardEliminateWorkers(trainer, train, val, names, minFeatures, maxLoss, 0)
+}
+
+// BackwardEliminateWorkers is BackwardEliminate with an explicit worker
+// count (0 = GOMAXPROCS, 1 = serial). Each step's drop candidates train
+// and score concurrently; ties break toward the earliest candidate, so
+// the elimination order is identical at any worker count.
+func BackwardEliminateWorkers(trainer ml.Trainer, train, val []ml.Sample, names []string, minFeatures int, maxLoss float64, workers int) (*SFSResult, error) {
 	if err := ml.ValidateSamples(train, true); err != nil {
 		return nil, fmt.Errorf("search: train: %w", err)
 	}
@@ -38,42 +46,39 @@ func BackwardEliminate(trainer ml.Trainer, train, val []ml.Sample, names []strin
 	for i := range current {
 		current[i] = i
 	}
-	evalSubset := func(subset []int) (metrics.Confusion, float64, error) {
-		clf, err := trainer.Train(features.Mask(train, subset))
-		if err != nil {
-			return metrics.Confusion{}, 0, err
-		}
-		masked := features.Mask(val, subset)
-		return metrics.Evaluate(clf, masked), metrics.AUCScore(clf, masked), nil
-	}
 
-	_, baseAUC, err := evalSubset(current)
+	full, err := scoreSubset(trainer, train, val, current)
 	if err != nil {
 		return nil, fmt.Errorf("search: full set: %w", err)
 	}
+	baseAUC := full.auc
 
 	res := &SFSResult{}
 	for len(current) > minFeatures {
-		bestAUC := -1.0
-		bestDrop := -1
-		var bestCM metrics.Confusion
-		for di := range current {
+		scored, err := parallel.Map(len(current), workers, func(di int) (subsetScore, error) {
 			subset := make([]int, 0, len(current)-1)
 			subset = append(subset, current[:di]...)
 			subset = append(subset, current[di+1:]...)
-			cm, auc, err := evalSubset(subset)
+			s, err := scoreSubset(trainer, train, val, subset)
 			if err != nil {
-				return nil, fmt.Errorf("search: dropping %s: %w", names[current[di]], err)
+				return subsetScore{}, fmt.Errorf("search: dropping %s: %w", names[current[di]], err)
 			}
-			if auc > bestAUC {
-				bestAUC = auc
-				bestDrop = di
-				bestCM = cm
+			return s, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestDrop := 0
+		for i := 1; i < len(scored); i++ {
+			if scored[i].auc > scored[bestDrop].auc {
+				bestDrop = i
 			}
 		}
-		if bestDrop == -1 || bestAUC < baseAUC-maxLoss {
+		if scored[bestDrop].auc < baseAUC-maxLoss {
 			break
 		}
+		bestAUC := scored[bestDrop].auc
+		bestCM := scored[bestDrop].cm
 		dropped := current[bestDrop]
 		current = append(current[:bestDrop], current[bestDrop+1:]...)
 		res.Steps = append(res.Steps, SFSStep{

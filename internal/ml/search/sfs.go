@@ -6,6 +6,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/ml/metrics"
+	"repro/internal/parallel"
 )
 
 // SFSStep records the state after adding one feature during sequential
@@ -33,12 +34,52 @@ type SFSResult struct {
 	Names []string
 }
 
+// subsetScore is one candidate subset's validation result.
+type subsetScore struct {
+	auc float64
+	cm  metrics.Confusion
+}
+
+// scoreSubset trains on the masked training set and scores the masked
+// validation set once, deriving both the AUC and the 0.5-threshold
+// confusion matrix from a single prediction pass.
+func scoreSubset(trainer ml.Trainer, train, val []ml.Sample, subset []int) (subsetScore, error) {
+	clf, err := trainer.Train(features.Mask(train, subset))
+	if err != nil {
+		return subsetScore{}, err
+	}
+	masked := features.Mask(val, subset)
+	scores := make([]float64, len(masked))
+	labels := make([]int, len(masked))
+	var cm metrics.Confusion
+	for i := range masked {
+		scores[i] = clf.PredictProba(masked[i].X)
+		labels[i] = masked[i].Y
+		pred := 0
+		if scores[i] >= 0.5 {
+			pred = 1
+		}
+		cm.Add(pred, masked[i].Y)
+	}
+	return subsetScore{auc: metrics.AUC(metrics.ROCFromScores(scores, labels)), cm: cm}, nil
+}
+
 // ForwardSelect implements the sequential forward selection algorithm
 // the paper cites (Whitney 1971): starting from the empty subset, it
 // greedily adds the feature whose addition maximises validation AUC,
 // stopping when no candidate improves it by more than minGain or when
-// maxFeatures is reached (0 = no limit).
+// maxFeatures is reached (0 = no limit). Candidate features are
+// evaluated on GOMAXPROCS goroutines; use ForwardSelectWorkers to pin
+// the worker count.
 func ForwardSelect(trainer ml.Trainer, train, val []ml.Sample, names []string, maxFeatures int, minGain float64) (*SFSResult, error) {
+	return ForwardSelectWorkers(trainer, train, val, names, maxFeatures, minGain, 0)
+}
+
+// ForwardSelectWorkers is ForwardSelect with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial). Each step's candidate features train
+// and score concurrently; ties break toward the lowest feature index,
+// so the trajectory is identical at any worker count.
+func ForwardSelectWorkers(trainer ml.Trainer, train, val []ml.Sample, names []string, maxFeatures int, minGain float64, workers int) (*SFSResult, error) {
 	if err := ml.ValidateSamples(train, true); err != nil {
 		return nil, fmt.Errorf("search: train: %w", err)
 	}
@@ -58,39 +99,47 @@ func ForwardSelect(trainer ml.Trainer, train, val []ml.Sample, names []string, m
 	bestAUC := 0.0
 
 	for len(res.Selected) < maxFeatures {
-		bestIdx := -1
-		var bestStep SFSStep
+		cands := make([]int, 0, width-len(res.Selected))
 		for f := 0; f < width; f++ {
-			if inSubset[f] {
-				continue
-			}
-			subset := append(append([]int(nil), res.Selected...), f)
-			clf, err := trainer.Train(features.Mask(train, subset))
-			if err != nil {
-				return nil, fmt.Errorf("search: training with %v: %w", subset, err)
-			}
-			maskedVal := features.Mask(val, subset)
-			auc := metrics.AUCScore(clf, maskedVal)
-			if bestIdx == -1 || auc > bestStep.AUC {
-				cm := metrics.Evaluate(clf, maskedVal)
-				bestIdx = f
-				bestStep = SFSStep{
-					FeatureIndex: f,
-					FeatureName:  names[f],
-					TPR:          cm.TPR(),
-					FPR:          cm.FPR(),
-					AUC:          auc,
-				}
+			if !inSubset[f] {
+				cands = append(cands, f)
 			}
 		}
-		if bestIdx == -1 || bestStep.AUC <= bestAUC+minGain {
+		if len(cands) == 0 {
 			break
 		}
-		bestAUC = bestStep.AUC
-		inSubset[bestIdx] = true
-		res.Selected = append(res.Selected, bestIdx)
-		res.Names = append(res.Names, names[bestIdx])
-		res.Steps = append(res.Steps, bestStep)
+		scored, err := parallel.Map(len(cands), workers, func(i int) (subsetScore, error) {
+			subset := append(append(make([]int, 0, len(res.Selected)+1), res.Selected...), cands[i])
+			s, err := scoreSubset(trainer, train, val, subset)
+			if err != nil {
+				return subsetScore{}, fmt.Errorf("search: training with %v: %w", subset, err)
+			}
+			return s, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := 0
+		for i := 1; i < len(scored); i++ {
+			if scored[i].auc > scored[best].auc {
+				best = i
+			}
+		}
+		if scored[best].auc <= bestAUC+minGain {
+			break
+		}
+		bestAUC = scored[best].auc
+		f := cands[best]
+		inSubset[f] = true
+		res.Selected = append(res.Selected, f)
+		res.Names = append(res.Names, names[f])
+		res.Steps = append(res.Steps, SFSStep{
+			FeatureIndex: f,
+			FeatureName:  names[f],
+			TPR:          scored[best].cm.TPR(),
+			FPR:          scored[best].cm.FPR(),
+			AUC:          scored[best].auc,
+		})
 	}
 	if len(res.Selected) == 0 {
 		return nil, fmt.Errorf("search: forward selection selected nothing")

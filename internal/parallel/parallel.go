@@ -1,0 +1,134 @@
+// Package parallel provides the bounded-worker fan-out primitive shared
+// by the repository's hot paths: fleet simulation, discontinuity
+// cleaning, feature extraction, hyper-parameter search, forest
+// training, and batch scoring.
+//
+// The package exists to make concurrency boring. Every helper follows
+// one convention:
+//
+//   - results come back in input order, regardless of scheduling;
+//   - a workers value of 0 (or below) selects runtime.GOMAXPROCS(0);
+//   - workers == 1 runs the loop inline on the calling goroutine with
+//     no synchronisation at all, reproducing serial behaviour exactly —
+//     the debugging escape hatch;
+//   - on failure, the error produced at the lowest index wins, which is
+//     the same error a serial left-to-right loop would have returned,
+//     so error identity is deterministic across worker counts.
+//
+// Work items must be independent: fn is called at most once per index,
+// possibly concurrently, and must not assume any inter-index ordering.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count configuration value: 0 or negative
+// selects runtime.GOMAXPROCS(0); positive values are used as-is. The
+// repository-wide convention is that 0 means "as parallel as the
+// hardware allows" and 1 means "today's serial behaviour".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the n results in index order. Scheduling never affects
+// the output: result i is always fn(i)'s value.
+//
+// If any call fails, Map returns the error raised at the lowest
+// failing index — exactly the error a serial loop would surface — and
+// a nil slice. Indexes above the lowest known failure may be skipped;
+// indexes below it are always attempted, so the winning error cannot
+// depend on goroutine timing.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next    atomic.Int64 // next index to claim
+		minFail atomic.Int64 // lowest failing index so far (n = none)
+		mu      sync.Mutex
+		errs    map[int]error
+		wg      sync.WaitGroup
+	)
+	minFail.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// A failure at a lower index already decides the
+				// outcome; anything above it cannot win, so skip the
+				// work but keep draining indexes below the failure.
+				if int64(i) > minFail.Load() {
+					continue
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if errs == nil {
+						errs = make(map[int]error)
+					}
+					errs[i] = err
+					mu.Unlock()
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if f := int(minFail.Load()); f < n {
+		return nil, errs[f]
+	}
+	return out, nil
+}
+
+// Do is Map without results: it runs fn(i) for every i in [0, n) on at
+// most workers goroutines and returns the lowest-index error, if any.
+func Do(n, workers int, fn func(i int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Collect is Map for infallible work: it fans fn out across workers
+// and returns the results in index order.
+func Collect[T any](n, workers int, fn func(i int) T) []T {
+	out, _ := Map(n, workers, func(i int) (T, error) {
+		return fn(i), nil
+	})
+	return out
+}

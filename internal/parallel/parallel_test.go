@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersConvention(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 64, n + 5} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := Map(n, workers, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("len = %d, want %d", len(got), n)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { t.Fatal("fn called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	// Several indexes fail; the serial answer is the lowest one. The
+	// parallel runs must return the identical error value.
+	failAt := map[int]bool{40: true, 7: true, 93: true}
+	fn := func(i int) (int, error) {
+		if failAt[i] {
+			return 0, fmt.Errorf("item %d broke", i)
+		}
+		return i, nil
+	}
+	serial, err1 := Map(100, 1, fn)
+	if serial != nil || err1 == nil || err1.Error() != "item 7 broke" {
+		t.Fatalf("serial = %v, %v", serial, err1)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		for rep := 0; rep < 20; rep++ {
+			got, err := Map(100, workers, fn)
+			if got != nil {
+				t.Fatalf("workers=%d: results returned despite error", workers)
+			}
+			if err == nil || err.Error() != err1.Error() {
+				t.Fatalf("workers=%d: err = %v, want %v", workers, err, err1)
+			}
+		}
+	}
+}
+
+func TestMapErrorSkipsHigherWork(t *testing.T) {
+	// After index 0 fails, indexes above it may be skipped but the
+	// call must still terminate and report index 0's error.
+	sentinel := errors.New("first")
+	var calls atomic.Int64
+	_, err := Map(1000, 8, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("fn never called")
+	}
+}
+
+func TestDo(t *testing.T) {
+	hits := make([]int32, 64)
+	if err := Do(64, 0, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	want := errors.New("boom")
+	if err := Do(8, 4, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		return nil
+	}); !errors.Is(err, want) {
+		t.Fatalf("Do error = %v", err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got := Collect(10, workers, func(i int) string { return fmt.Sprintf("#%d", i) })
+		for i, v := range got {
+			if v != fmt.Sprintf("#%d", i) {
+				t.Fatalf("workers=%d: got[%d] = %q", workers, i, v)
+			}
+		}
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", Workers(workers)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Map(1024, workers, func(j int) (int, error) { return j, nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,31 @@ func BenchmarkSimulateTinyFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateWorkers compares the serial drive loop against the
+// full fan-out; outputs are bit-identical, only wall-clock differs.
+func BenchmarkSimulateWorkers(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := TinyConfig()
+			cfg.Workers = bc.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Data.Len() == 0 {
+					b.Fatal("empty fleet")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDriveDay(b *testing.B) {
 	cfg := TinyConfig()
 	r := driveRNG(cfg.Seed, "bench-drive")

@@ -86,6 +86,13 @@ type Config struct {
 	AbandonShare   float64
 	AbandonMaxDays int
 
+	// Workers bounds the goroutines that materialise drives; 0 selects
+	// GOMAXPROCS and 1 reproduces serial generation. The per-drive RNG
+	// (see driveRNG) makes every drive's trajectory independent of
+	// generation order, so the output — telemetry, truth, tickets, and
+	// stats — is bit-identical at any worker count.
+	Workers int
+
 	// DriftStartDay, if ≥ 0, is the day a fleet-wide OS update starts
 	// raising background Windows-event rates on healthy machines
 	// (covariate drift). DriftMonthlyFactor is the multiplicative rate

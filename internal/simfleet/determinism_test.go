@@ -1,0 +1,54 @@
+package simfleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSimulateWorkersIdentical asserts the parallel drive fan-out is
+// bit-identical to serial execution: every drive draws its trajectory
+// from a private FNV-seeded RNG, so only the merge order could differ,
+// and the merge replays the serial spec order.
+func TestSimulateWorkersIdentical(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.Workers = 1
+	want, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 3, 8} {
+		cfg := TinyConfig()
+		cfg.Workers = w
+		got, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got.Data.SerialNumbers(), want.Data.SerialNumbers()) {
+			t.Fatalf("workers=%d: drive insertion order differs", w)
+		}
+		for _, sn := range want.Data.SerialNumbers() {
+			ws, _ := want.Data.Series(sn)
+			gs, _ := got.Data.Series(sn)
+			if !reflect.DeepEqual(gs.Records, ws.Records) {
+				t.Fatalf("workers=%d: drive %s telemetry differs", w, sn)
+			}
+		}
+		if !reflect.DeepEqual(got.Truth, want.Truth) {
+			t.Fatalf("workers=%d: ground truth differs", w)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Fatalf("workers=%d: vendor stats differ", w)
+		}
+		if got.Tickets.Len() != want.Tickets.Len() {
+			t.Fatalf("workers=%d: %d tickets, want %d", w, got.Tickets.Len(), want.Tickets.Len())
+		}
+		if !reflect.DeepEqual(got.Tickets.SerialNumbers(), want.Tickets.SerialNumbers()) {
+			t.Fatalf("workers=%d: ticket order differs", w)
+		}
+		for _, sn := range want.Tickets.SerialNumbers() {
+			if !reflect.DeepEqual(got.Tickets.Lookup(sn), want.Tickets.Lookup(sn)) {
+				t.Fatalf("workers=%d: tickets for %s differ", w, sn)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/smartattr"
 	"repro/internal/ticket"
 )
@@ -87,8 +88,31 @@ func (res *Result) FaultyCount() int {
 	return n
 }
 
+// driveSpec is one drive's assignment, drawn serially from the master
+// RNG so the spec sequence is identical at every worker count.
+type driveSpec struct {
+	sn      string
+	vendor  int // index into cfg.Vendors
+	stats   int // index into Result.Stats
+	kind    kind
+	failDay int
+}
+
+// driveOutput is everything one materialised drive contributes,
+// produced by a worker and merged serially in spec order.
+type driveOutput struct {
+	records []dataset.Record
+	truth   DriveTruth
+	fwSeq   int
+	ticket  ticket.Ticket
+}
+
 // Simulate generates a fleet per cfg. The same cfg (including Seed)
-// always yields the same result.
+// always yields the same result: drive assignments come from a serial
+// master-RNG pass, each drive's trajectory comes from its own
+// serial-number-seeded RNG (order-independent by construction), and
+// per-worker outputs are merged in spec order, so the output is
+// bit-identical at any cfg.Workers setting.
 func Simulate(cfg Config) (*Result, error) {
 	if cfg.Vendors == nil {
 		cfg.Vendors = DefaultVendors()
@@ -109,7 +133,11 @@ func Simulate(cfg Config) (*Result, error) {
 		causeWeights[i] = c.Share
 	}
 
-	for _, v := range cfg.Vendors {
+	// Pass 1 (serial): draw every drive's cohort assignment from the
+	// master RNG in the fixed vendor/serial order.
+	var specs []driveSpec
+	for vi := range cfg.Vendors {
+		v := &cfg.Vendors[vi]
 		nFaulty := int(math.Round(float64(v.Failures) * cfg.FailureScale))
 		if nFaulty < 1 {
 			nFaulty = 1
@@ -127,9 +155,10 @@ func Simulate(cfg Config) (*Result, error) {
 		for _, rel := range v.Firmware.Releases() {
 			stats.PopulationByFirmwareSeq[rel.Seq] = rel.ShipShare * float64(v.Population)
 		}
+		si := len(res.Stats)
+		res.Stats = append(res.Stats, stats)
 
 		for i := 0; i < nFaulty; i++ {
-			sn := fmt.Sprintf("%s-F%06d", v.Name, i)
 			k := kindFaulty
 			if master.Float64() < cfg.SuddenShare {
 				k = kindSudden
@@ -137,13 +166,15 @@ func Simulate(cfg Config) (*Result, error) {
 			// Failures spread uniformly over the window, but not in
 			// the first week: a drive must have some history to be
 			// observable at all.
-			failDay := 7 + master.Intn(cfg.Days-7)
-			if err := simulateDrive(res, &stats, sn, &v, k, failDay, &cfg, causes, causeWeights); err != nil {
-				return nil, err
-			}
+			specs = append(specs, driveSpec{
+				sn:      fmt.Sprintf("%s-F%06d", v.Name, i),
+				vendor:  vi,
+				stats:   si,
+				kind:    k,
+				failDay: 7 + master.Intn(cfg.Days-7),
+			})
 		}
 		for i := 0; i < nHealthy; i++ {
-			sn := fmt.Sprintf("%s-H%06d", v.Name, i)
 			k := kindHealthy
 			switch u := master.Float64(); {
 			case u < cfg.SmartNoiseShare:
@@ -151,18 +182,48 @@ func Simulate(cfg Config) (*Result, error) {
 			case u < cfg.SmartNoiseShare+cfg.BurstShare:
 				k = kindBurst
 			}
-			if err := simulateDrive(res, &stats, sn, &v, k, -1, &cfg, causes, causeWeights); err != nil {
+			specs = append(specs, driveSpec{
+				sn:      fmt.Sprintf("%s-H%06d", v.Name, i),
+				vendor:  vi,
+				stats:   si,
+				kind:    k,
+				failDay: -1,
+			})
+		}
+	}
+
+	// Pass 2 (parallel): materialise each drive from its own RNG.
+	outs, err := parallel.Map(len(specs), cfg.Workers, func(i int) (driveOutput, error) {
+		s := specs[i]
+		return simulateDrive(s.sn, &cfg.Vendors[s.vendor], s.kind, s.failDay, &cfg, causes, causeWeights), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 3 (serial): merge in spec order so dataset insertion order,
+	// ticket order, and stats are identical to a serial run.
+	for i := range outs {
+		out := &outs[i]
+		for _, rec := range out.records {
+			if err := res.Data.Append(rec); err != nil {
 				return nil, err
 			}
 		}
-		res.Stats = append(res.Stats, stats)
+		res.Truth[out.truth.SerialNumber] = out.truth
+		if out.truth.Faulty {
+			res.Stats[specs[i].stats].FailuresByFirmwareSeq[out.fwSeq]++
+			res.Tickets.Add(out.ticket)
+		}
 	}
 	return res, nil
 }
 
-// simulateDrive runs one drive through the window, appending its
+// simulateDrive runs one drive through the window and returns its
 // telemetry, ground truth, and (for faulty drives) its trouble ticket.
-func simulateDrive(res *Result, stats *VendorStats, sn string, v *VendorSpec, k kind, failDay int, cfg *Config, causes []ticket.Cause, causeWeights []float64) error {
+// It draws only from the drive's own serial-number-seeded RNG, so it is
+// safe to call concurrently for different drives.
+func simulateDrive(sn string, v *VendorSpec, k kind, failDay int, cfg *Config, causes []ticket.Cause, causeWeights []float64) driveOutput {
 	r := driveRNG(cfg.Seed, sn)
 	d := newDriveState(r, sn, v, k, failDay, cfg)
 	if d.kind == kindBurst {
@@ -184,6 +245,7 @@ func simulateDrive(res *Result, stats *VendorStats, sn string, v *VendorSpec, k 
 			lastDay = 0
 		}
 	}
+	out := driveOutput{records: make([]dataset.Record, 0, lastDay+1)}
 	var failHours float64
 	for day := 0; day <= lastDay; day++ {
 		powered := r.Float64() < d.usage.onProb[day%7]
@@ -196,9 +258,7 @@ func simulateDrive(res *Result, stats *VendorStats, sn string, v *VendorSpec, k 
 			continue
 		}
 		rec := d.stepDay(r, day, cfg)
-		if err := res.Data.Append(rec); err != nil {
-			return err
-		}
+		out.records = append(out.records, rec)
 		if d.failDay >= 0 {
 			// The age at the last observation approximates the age at
 			// death (exact when the final record lands on the failure
@@ -207,7 +267,7 @@ func simulateDrive(res *Result, stats *VendorStats, sn string, v *VendorSpec, k 
 		}
 	}
 
-	truth := DriveTruth{
+	out.truth = DriveTruth{
 		SerialNumber:     sn,
 		Vendor:           v.Name,
 		Model:            d.model.Name,
@@ -219,18 +279,17 @@ func simulateDrive(res *Result, stats *VendorStats, sn string, v *VendorSpec, k 
 		FailPowerOnHours: failHours,
 		Kind:             k.String(),
 	}
-	res.Truth[sn] = truth
 
 	if k.Faulty() {
-		stats.FailuresByFirmwareSeq[d.fw.Seq]++
+		out.fwSeq = d.fw.Seq
 		delay := geometricDelay(r, cfg.TicketDelayMeanDays, cfg.TicketDelayMaxDays)
 		cause := weightedIndex(r, causeWeights)
-		res.Tickets.Add(ticket.Ticket{
+		out.ticket = ticket.Ticket{
 			SerialNumber: sn,
 			IMT:          d.failDay + delay,
 			Cause:        cause,
 			Description:  causes[cause].Name,
-		})
+		}
 	}
-	return nil
+	return out
 }
