@@ -18,8 +18,20 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/features
 
+# Seed-commit BenchmarkForestTrain numbers (pre histogram engine),
+# measured with `git worktree add <dir> <ref>` + `go test -bench
+# BenchmarkForestTrain -benchmem -benchtime 2s ./internal/ml/forest`.
+# Re-measure on new hardware before comparing.
+BASELINE_REF    ?= 0e00b81
+BASELINE_NS     ?= 77893883
+BASELINE_BYTES  ?= 21106284
+BASELINE_ALLOCS ?= 34346
+
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search ./internal/ml/forest ./internal/ml/gbdt
+	$(GO) run ./cmd/mfpabench -out BENCH_train.json -benchtime 2s \
+		-baseline-ref $(BASELINE_REF) -baseline-ns $(BASELINE_NS) \
+		-baseline-bytes $(BASELINE_BYTES) -baseline-allocs $(BASELINE_ALLOCS)
 
 report:
 	$(GO) run ./cmd/mfpareport -scale 0.2

@@ -5,6 +5,7 @@
 //
 //	mfpatrain [-vendor I] [-group SFWB] [-algo RF] [-seed 1]
 //	          [-scale 0.1] [-data fleet.csv -tickets tickets.csv]
+//	          [-bins 256] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -12,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -39,8 +42,27 @@ func main() {
 		ratio       = flag.Float64("ratio", 3, "negative under-sampling ratio")
 		savePath    = flag.String("save", "", "write the trained model envelope to this path (optional)")
 		workers     = flag.Int("workers", 0, "worker goroutines for simulation and pipeline stages (0 = GOMAXPROCS, 1 = serial; output is identical)")
+		bins        = flag.Int("bins", 0, "histogram training engine bin budget for RF/GBDT (0 = 256, max 256, negative = exact sort-based splitter)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile  = flag.String("memprofile", "", "write a heap profile taken after training to this path")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	group, ok := features.ParseGroup(*groupName)
 	if !ok {
@@ -59,6 +81,7 @@ func main() {
 	cfg.PositiveWindowDays = *posWindow
 	cfg.NegativeRatio = *ratio
 	cfg.Workers = *workers
+	cfg.Bins = *bins
 
 	if *dataPath != "" {
 		if *ticketsPath == "" {
@@ -110,6 +133,21 @@ func main() {
 		report.Eval.DriveConfusion.TPR(), report.Eval.DriveConfusion.FPR())
 	fmt.Printf("  timings: clean=%v label=%v sample=%v train=%v eval=%v\n",
 		report.Prepared.CleanTime, report.Prepared.LabelTime, report.SampleTime, report.TrainTime, report.EvalTime)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  heap profile written to %s\n", *memprofile)
+	}
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)

@@ -44,17 +44,19 @@ func (a Algorithm) Sequential() bool { return a == AlgoCNNLSTM }
 // newTrainer instantiates the algorithm with the repository's default
 // hyper-parameters (chosen by the grid-search experiment). width and
 // seqLen parameterise the CNN_LSTM input shape; workers bounds the
-// training parallelism of the ensemble learners.
-func (a Algorithm) newTrainer(seed int64, width, seqLen, workers int) (ml.Trainer, error) {
+// training parallelism of the ensemble learners; bins selects the
+// tree ensembles' histogram split engine (0 = 256 bins, negative =
+// exact sort-based splitter).
+func (a Algorithm) newTrainer(seed int64, width, seqLen, workers, bins int) (ml.Trainer, error) {
 	switch a {
 	case AlgoBayes:
 		return &bayes.Trainer{}, nil
 	case AlgoSVM:
 		return &svm.Trainer{Lambda: 1e-4, Epochs: 30, Seed: seed, Standardize: true}, nil
 	case AlgoRF:
-		return &forest.Trainer{Trees: 100, MaxDepth: 12, Seed: seed, Parallelism: workers}, nil
+		return &forest.Trainer{Trees: 100, MaxDepth: 12, Seed: seed, Parallelism: workers, Bins: bins}, nil
 	case AlgoGBDT:
-		return &gbdt.Trainer{Rounds: 120, LearningRate: 0.1, MaxDepth: 4, Subsample: 0.8, Seed: seed}, nil
+		return &gbdt.Trainer{Rounds: 120, LearningRate: 0.1, MaxDepth: 4, Subsample: 0.8, Seed: seed, Bins: bins}, nil
 	case AlgoCNNLSTM:
 		return &nn.CNNLSTMTrainer{
 			SeqLen:   seqLen,
@@ -124,6 +126,13 @@ type Config struct {
 	// identical at any setting — every fan-out merges in deterministic
 	// order and draws randomness from pre-assigned seeds.
 	Workers int
+	// Bins is the per-feature bin budget of the histogram training
+	// engine behind the tree ensembles (RF, GBDT): 0 selects 256 (the
+	// default engine), positive values are clamped to at most 256, and
+	// any negative value falls back to the exact sort-based splitter.
+	// Binning quantises split thresholds but leaves them exact while
+	// features have no more distinct values than bins.
+	Bins int
 }
 
 // DefaultConfig returns the paper's best configuration: per-vendor RF

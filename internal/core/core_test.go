@@ -68,7 +68,7 @@ func TestAlgorithms(t *testing.T) {
 		t.Fatal("Sequential misclassifies")
 	}
 	for _, a := range algos {
-		tr, err := a.newTrainer(1, 45, 5, 0)
+		tr, err := a.newTrainer(1, 45, 5, 0, 0)
 		if err != nil {
 			t.Errorf("%s: %v", a, err)
 			continue
@@ -77,7 +77,7 @@ func TestAlgorithms(t *testing.T) {
 			t.Errorf("%s trainer has empty name", a)
 		}
 	}
-	if _, err := Algorithm("bogus").newTrainer(1, 4, 2, 0); err == nil {
+	if _, err := Algorithm("bogus").newTrainer(1, 4, 2, 0, 0); err == nil {
 		t.Error("bogus algorithm accepted")
 	}
 }
@@ -263,7 +263,7 @@ func TestCalibrationFallsBackOnTinyTraining(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		train = append(train, ml.Sample{X: []float64{float64(i)}, Y: i % 2, Day: i, SN: "s"})
 	}
-	trainer, err := AlgoRF.newTrainer(1, 1, 1, 0)
+	trainer, err := AlgoRF.newTrainer(1, 1, 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -163,7 +163,7 @@ func Train(p *Prepared, tests ...[]ml.Sample) (*Model, *TrainReport, error) {
 	_, report.TestPos = ml.ClassCounts(test)
 
 	width := p.Extractor.Width()
-	trainer, err := cfg.Algorithm.newTrainer(cfg.Seed, width, cfg.SeqLen, cfg.Workers)
+	trainer, err := cfg.Algorithm.newTrainer(cfg.Seed, width, cfg.SeqLen, cfg.Workers, cfg.Bins)
 	if err != nil {
 		return nil, nil, err
 	}

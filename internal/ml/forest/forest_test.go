@@ -1,6 +1,7 @@
 package forest
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -62,6 +63,90 @@ func TestForestDeterministicDespiteParallelism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatal("parallelism changed the model")
 		}
+	}
+}
+
+func TestForestExactFallbackDeterministicAndAccurate(t *testing.T) {
+	// Bins: -1 selects the exact sort-based splitter; it must remain a
+	// working, parallel-deterministic engine.
+	train := rings(1000, 30)
+	test := rings(400, 31)
+	run := func(workers int) ml.Classifier {
+		clf, err := (&Trainer{Trees: 30, MaxDepth: 10, Seed: 1, Bins: -1, Parallelism: workers}).Train(train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clf
+	}
+	serial, parallelClf := run(1), run(8)
+	correct := 0
+	for _, s := range test {
+		if serial.PredictProba(s.X) != parallelClf.PredictProba(s.X) {
+			t.Fatal("exact engine: parallelism changed the model")
+		}
+		if ml.Predict(serial, s.X) == s.Y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+		t.Fatalf("exact engine accuracy = %g", acc)
+	}
+}
+
+func TestForestHistogramMatchesExactOnDiscreteFeatures(t *testing.T) {
+	// With fewer distinct values than bins the histogram engine's
+	// split search is exact, and weight-based bagging reproduces what
+	// bootstrap row copies would: the two engines agree prediction for
+	// prediction.
+	r := rand.New(rand.NewSource(40))
+	var train []ml.Sample
+	for i := 0; i < 600; i++ {
+		x := float64(r.Intn(20))
+		y := 0
+		if x > 9 {
+			y = 1
+		}
+		train = append(train, ml.Sample{X: []float64{x, float64(r.Intn(6))}, Y: y})
+	}
+	hist, err := (&Trainer{Trees: 12, MaxDepth: 8, Seed: 3}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (&Trainer{Trees: 12, MaxDepth: 8, Seed: 3, Bins: -1}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x := []float64{float64(r.Intn(20)), float64(r.Intn(6))}
+		if hist.PredictProba(x) != exact.PredictProba(x) {
+			t.Fatalf("engines disagree at %v: %g vs %g", x, hist.PredictProba(x), exact.PredictProba(x))
+		}
+	}
+}
+
+func TestForestRejectsNaNFeatures(t *testing.T) {
+	train := rings(50, 32)
+	train[7].X[1] = math.NaN()
+	if _, err := (&Trainer{Trees: 3, Seed: 1}).Train(train); err == nil {
+		t.Fatal("NaN features accepted by the histogram engine")
+	}
+}
+
+func TestForestSmallBinBudgetStillLearns(t *testing.T) {
+	train := rings(1500, 33)
+	test := rings(600, 34)
+	clf, err := (&Trainer{Trees: 40, MaxDepth: 10, Seed: 1, Bins: 16}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range test {
+		if ml.Predict(clf, s.X) == s.Y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+		t.Fatalf("16-bin accuracy = %g", acc)
 	}
 }
 

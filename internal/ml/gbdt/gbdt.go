@@ -1,6 +1,13 @@
 // Package gbdt implements gradient-boosted decision trees for binary
 // classification with logistic loss (Friedman's TreeBoost with Newton
 // leaf updates), one of the paper's five candidate algorithms.
+//
+// By default each round's regression tree is grown by the histogram
+// engine on a columnar binned matrix built once per training run —
+// the feature geometry never changes across rounds, only the gradient
+// targets do — with stochastic-gradient-boosting row subsampling
+// expressed as 0/1 row weights. Bins: -1 falls back to the exact
+// sort-based splitter.
 package gbdt
 
 import (
@@ -9,6 +16,7 @@ import (
 	"math/rand"
 
 	"repro/internal/ml"
+	"repro/internal/ml/matrix"
 	"repro/internal/ml/tree"
 )
 
@@ -25,6 +33,11 @@ type Trainer struct {
 	// Subsample is the stochastic-gradient-boosting row fraction per
 	// round; 0 selects 1 (no subsampling).
 	Subsample float64
+	// Bins is the histogram engine's per-feature bin budget: 0 selects
+	// matrix.DefaultBins (256), positive values are clamped to at most
+	// 256, and any negative value selects the exact sort-based
+	// splitter instead.
+	Bins int
 	// Seed drives subsampling.
 	Seed int64
 }
@@ -81,42 +94,64 @@ func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
 	grad := make([]float64, n)
 	r := rand.New(rand.NewSource(t.Seed + 7))
 
+	// Histogram engine: the binned matrix depends only on the feature
+	// matrix, so it is built once and reused by every boosting round.
+	var bm *matrix.BinnedMatrix
+	var weights []int
+	if t.Bins >= 0 {
+		var err error
+		bm, err = matrix.Build(xs, t.Bins)
+		if err != nil {
+			return nil, fmt.Errorf("gbdt: %w", err)
+		}
+		weights = make([]int, n)
+	}
+
 	for round := 0; round < rounds; round++ {
 		// Negative gradient of logistic loss: y − p.
 		for i := range grad {
 			grad[i] = ys[i] - sigmoid(f[i])
 		}
-		rowXs, rowIdx := xs, allIdx(n)
+		rowIdx := allIdx(n)
 		if sub < 1 {
 			k := int(sub * float64(n))
 			if k < 2 {
 				k = 2
 			}
-			perm := r.Perm(n)[:k]
-			rowXs = make([][]float64, k)
-			rowIdx = perm
-			for j, i := range perm {
-				rowXs[j] = xs[i]
-			}
+			rowIdx = r.Perm(n)[:k]
 		}
-		rowGrad := make([]float64, len(rowIdx))
-		for j, i := range rowIdx {
-			rowGrad[j] = grad[i]
-		}
-		tr := tree.GrowRegressor(rowXs, rowGrad, tree.Config{
+		treeCfg := tree.Config{
 			MaxDepth:       maxDepth,
 			MinSamplesLeaf: minLeaf,
 			Seed:           t.Seed + int64(round)*9973,
-		})
+		}
+		var tr *tree.Regressor
+		if bm != nil {
+			for i := range weights {
+				weights[i] = 0
+			}
+			for _, i := range rowIdx {
+				weights[i] = 1
+			}
+			tr = tree.GrowRegressorBinned(bm, grad, weights, treeCfg)
+		} else {
+			rowXs := make([][]float64, len(rowIdx))
+			rowGrad := make([]float64, len(rowIdx))
+			for j, i := range rowIdx {
+				rowXs[j] = xs[i]
+				rowGrad[j] = grad[i]
+			}
+			tr = tree.GrowRegressor(rowXs, rowGrad, treeCfg)
+		}
 
 		// Newton leaf values: γ = Σ(y−p) / Σ p(1−p) over leaf members.
 		nl := tr.NumLeaves()
 		num := make([]float64, nl)
 		den := make([]float64, nl)
-		for j, i := range rowIdx {
+		for _, i := range rowIdx {
 			leaf := tr.Apply(xs[i])
 			p := sigmoid(f[i])
-			num[leaf] += rowGrad[j]
+			num[leaf] += grad[i]
 			den[leaf] += p * (1 - p)
 		}
 		for leaf := 0; leaf < nl; leaf++ {

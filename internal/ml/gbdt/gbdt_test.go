@@ -144,6 +144,64 @@ func TestDeterministic(t *testing.T) {
 	}
 }
 
+func TestExactFallbackStillLearns(t *testing.T) {
+	// Bins: -1 selects the exact sort-based splitter.
+	train := moons(500, 40)
+	test := moons(300, 41)
+	clf, err := (&Trainer{Rounds: 80, Seed: 1, Bins: -1}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range test {
+		if ml.Predict(clf, s.X) == s.Y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.95 {
+		t.Fatalf("exact-engine moons accuracy = %g", acc)
+	}
+}
+
+func TestHistogramMatchesExactOnDiscreteFeatures(t *testing.T) {
+	// On features with fewer distinct values than bins the histogram
+	// split search evaluates the same candidates at the same
+	// thresholds as the exact engine, so the boosted ensembles agree
+	// score for score.
+	r := rand.New(rand.NewSource(42))
+	var train []ml.Sample
+	for i := 0; i < 400; i++ {
+		x := float64(r.Intn(15))
+		y := 0
+		if x > 7 {
+			y = 1
+		}
+		train = append(train, ml.Sample{X: []float64{x, float64(r.Intn(4))}, Y: y})
+	}
+	hist, err := (&Trainer{Rounds: 30, Seed: 5, Subsample: 0.8}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (&Trainer{Rounds: 30, Seed: 5, Subsample: 0.8, Bins: -1}).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		x := []float64{float64(r.Intn(15)), float64(r.Intn(4))}
+		if hist.PredictProba(x) != exact.PredictProba(x) {
+			t.Fatalf("engines disagree at %v: %g vs %g", x, hist.PredictProba(x), exact.PredictProba(x))
+		}
+	}
+}
+
+func TestRejectsNaNFeatures(t *testing.T) {
+	train := moons(50, 43)
+	train[3].X[0] = math.NaN()
+	if _, err := (&Trainer{Rounds: 5, Seed: 1}).Train(train); err == nil {
+		t.Fatal("NaN features accepted by the histogram engine")
+	}
+}
+
 func TestRequiresBothClasses(t *testing.T) {
 	if _, err := (&Trainer{}).Train([]ml.Sample{{X: []float64{1}, Y: 1}}); err == nil {
 		t.Fatal("single-class training accepted")

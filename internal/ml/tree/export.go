@@ -30,7 +30,7 @@ func (t *Classifier) Export() Exported {
 
 // Export returns the regressor's serialisation form.
 func (t *Regressor) Export() Exported {
-	return Exported{Nodes: exportNodes(t.nodes), Leaves: t.numLeafs}
+	return Exported{Nodes: exportNodes(t.nodes), Leaves: len(t.leafIndex)}
 }
 
 func exportNodes(nodes []node) []ExportedNode {
@@ -85,7 +85,8 @@ func ImportClassifier(e Exported) (*Classifier, error) {
 	return &Classifier{nodes: nodes, width: e.Width}, nil
 }
 
-// ImportRegressor reconstructs a regression tree.
+// ImportRegressor reconstructs a regression tree, rebuilding the
+// leafID → arena-index table that backs O(1) SetLeafValue.
 func ImportRegressor(e Exported) (*Regressor, error) {
 	if len(e.Nodes) == 0 {
 		return nil, fmt.Errorf("tree: empty export")
@@ -94,5 +95,14 @@ func ImportRegressor(e Exported) (*Regressor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Regressor{nodes: nodes, numLeafs: e.Leaves}, nil
+	leafIndex := make([]int, e.Leaves)
+	for i := range leafIndex {
+		leafIndex[i] = -1
+	}
+	for i := range nodes {
+		if nodes[i].feature == -1 && nodes[i].leafID >= 0 && nodes[i].leafID < len(leafIndex) {
+			leafIndex[nodes[i].leafID] = i
+		}
+	}
+	return &Regressor{nodes: nodes, leafIndex: leafIndex}, nil
 }

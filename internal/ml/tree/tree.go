@@ -2,6 +2,12 @@
 // classification tree (the base learner of the random forest) and a
 // squared-error regression tree with externally adjustable leaf values
 // (the base learner of the gradient-boosted ensemble).
+//
+// Two split engines share the growth logic and node layout: the exact
+// sort-based splitter below (GrowClassifier/GrowRegressor), and the
+// histogram splitter over a columnar binned matrix in hist.go
+// (GrowClassifierBinned/GrowRegressorBinned), which the ensembles use
+// by default.
 package tree
 
 import (
@@ -108,20 +114,19 @@ func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
 func GrowClassifier(xs [][]float64, ys []float64, cfg Config) *Classifier {
 	cfg = cfg.withDefaults()
 	g := &grower{
-		xs:  xs,
-		ys:  ys,
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed + 17)),
+		xs:      xs,
+		ys:      ys,
+		cfg:     cfg,
+		sampler: newFeatureSampler(rand.New(rand.NewSource(cfg.Seed+17)), len(xs[0])),
+		idx:     orderedIndex(len(xs)),
+		scratch: make([]int, len(xs)),
+		sorted:  make([]int, len(xs)),
 		// Gini impurity of a 0/1 target equals 2p(1-p), which is
 		// monotone in the variance p(1-p); minimising weighted child
 		// variance therefore minimises weighted gini, so one split
 		// criterion serves both tree kinds.
 	}
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	g.grow(idx, 0) // the root is always arena index 0
+	g.grow(0, len(xs), 0) // the root is always arena index 0
 	return &Classifier{nodes: g.nodes, width: len(xs[0])}
 }
 
@@ -140,8 +145,10 @@ func (t *Classifier) NodeCount() int { return len(t.nodes) }
 // Regressor is a fitted squared-error regression tree whose leaf
 // values can be overwritten by an ensemble (GBDT's Newton step).
 type Regressor struct {
-	nodes    []node
-	numLeafs int
+	nodes []node
+	// leafIndex maps leafID → node arena index, so SetLeafValue is
+	// O(1) instead of a linear scan over the arena.
+	leafIndex []int
 }
 
 // GrowRegressor fits a regression tree to targets ys.
@@ -151,15 +158,14 @@ func GrowRegressor(xs [][]float64, ys []float64, cfg Config) *Regressor {
 		xs:         xs,
 		ys:         ys,
 		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed + 17)),
+		sampler:    newFeatureSampler(rand.New(rand.NewSource(cfg.Seed+17)), len(xs[0])),
+		idx:        orderedIndex(len(xs)),
+		scratch:    make([]int, len(xs)),
+		sorted:     make([]int, len(xs)),
 		regression: true,
 	}
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	g.grow(idx, 0)
-	return &Regressor{nodes: g.nodes, numLeafs: g.leafCount}
+	g.grow(0, len(xs), 0)
+	return &Regressor{nodes: g.nodes, leafIndex: g.leafIdx}
 }
 
 // Predict returns the leaf value for x.
@@ -173,17 +179,14 @@ func (t *Regressor) Apply(x []float64) int {
 }
 
 // NumLeaves returns the number of leaves.
-func (t *Regressor) NumLeaves() int { return t.numLeafs }
+func (t *Regressor) NumLeaves() int { return len(t.leafIndex) }
 
 // SetLeafValue overwrites the output of leaf id.
 func (t *Regressor) SetLeafValue(id int, v float64) {
-	for i := range t.nodes {
-		if t.nodes[i].feature == -1 && t.nodes[i].leafID == id {
-			t.nodes[i].value = v
-			return
-		}
+	if id < 0 || id >= len(t.leafIndex) || t.leafIndex[id] < 0 {
+		panic(fmt.Sprintf("tree: no leaf %d", id))
 	}
-	panic(fmt.Sprintf("tree: no leaf %d", id))
+	t.nodes[t.leafIndex[id]].value = v
 }
 
 func descend(nodes []node, x []float64) int {
@@ -210,19 +213,65 @@ func depthOf(nodes []node, i, d int) int {
 	return r
 }
 
-// grower holds the shared growth state.
+// orderedIndex returns [0, 1, …, n-1].
+func orderedIndex(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// featureSampler draws k-feature subsets with a reusable partial
+// Fisher–Yates buffer, replacing the per-split rng.Perm allocation.
+// The buffer persists across draws (the partial shuffle keeps it a
+// permutation of 0..width-1), so sampling allocates nothing.
+type featureSampler struct {
+	rng *rand.Rand
+	buf []int
+}
+
+func newFeatureSampler(rng *rand.Rand, width int) *featureSampler {
+	return &featureSampler{rng: rng, buf: orderedIndex(width)}
+}
+
+// sample returns k features without replacement. When k covers every
+// feature, the current buffer order is returned without consuming any
+// randomness — both split engines share this convention, which keeps
+// their rng streams aligned node for node.
+func (s *featureSampler) sample(k int) []int {
+	n := len(s.buf)
+	if k >= n {
+		return s.buf
+	}
+	for j := 0; j < k; j++ {
+		r := j + s.rng.Intn(n-j)
+		s.buf[j], s.buf[r] = s.buf[r], s.buf[j]
+	}
+	return s.buf[:k]
+}
+
+// grower holds the exact (sort-based) split engine's growth state.
 type grower struct {
 	xs         [][]float64
 	ys         []float64
 	cfg        Config
-	rng        *rand.Rand
+	sampler    *featureSampler
 	regression bool
 	nodes      []node
 	leafCount  int
+	leafIdx    []int
+	// idx is the single index arena: grow(lo, hi) owns idx[lo:hi] and
+	// partitions it in place, spilling the right side through scratch,
+	// instead of append-growing two fresh slices per node.
+	idx     []int
+	scratch []int
+	sorted  []int
 }
 
-// grow builds the subtree over idx and returns its arena index.
-func (g *grower) grow(idx []int, depth int) int {
+// grow builds the subtree over idx[lo:hi] and returns its arena index.
+func (g *grower) grow(lo, hi, depth int) int {
+	idx := g.idx[lo:hi]
 	mean, sse := meanSSE(g.ys, idx)
 	self := len(g.nodes)
 	g.nodes = append(g.nodes, node{feature: -1, value: mean})
@@ -236,30 +285,44 @@ func (g *grower) grow(idx []int, depth int) int {
 		g.sealLeaf(self)
 		return self
 	}
-	var left, right []int
-	for _, i := range idx {
-		if g.xs[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < g.cfg.MinSamplesLeaf || len(right) < g.cfg.MinSamplesLeaf {
+	mid := g.partition(lo, hi, feat, thr)
+	if mid-lo < g.cfg.MinSamplesLeaf || hi-mid < g.cfg.MinSamplesLeaf {
 		g.sealLeaf(self)
 		return self
 	}
 	g.nodes[self].feature = feat
 	g.nodes[self].threshold = thr
 	g.nodes[self].gain = gain
-	l := g.grow(left, depth+1)
-	r := g.grow(right, depth+1)
+	l := g.grow(lo, mid, depth+1)
+	r := g.grow(mid, hi, depth+1)
 	g.nodes[self].left = l
 	g.nodes[self].right = r
 	return self
 }
 
+// partition stably splits idx[lo:hi] around x[feat] <= thr in place:
+// kept rows compact to the front, spilled rows pass through scratch.
+// It returns the boundary index. Relative order is preserved on both
+// sides, matching what two append-grown slices would contain.
+func (g *grower) partition(lo, hi, feat int, thr float64) int {
+	k, t := lo, 0
+	for p := lo; p < hi; p++ {
+		i := g.idx[p]
+		if g.xs[i][feat] <= thr {
+			g.idx[k] = i
+			k++
+		} else {
+			g.scratch[t] = i
+			t++
+		}
+	}
+	copy(g.idx[k:hi], g.scratch[:t])
+	return k
+}
+
 func (g *grower) sealLeaf(i int) {
 	g.nodes[i].leafID = g.leafCount
+	g.leafIdx = append(g.leafIdx, i)
 	g.leafCount++
 }
 
@@ -268,10 +331,10 @@ func (g *grower) sealLeaf(i int) {
 func (g *grower) bestSplit(idx []int, parentSSE float64) (feat int, thr, bestGainOut float64, ok bool) {
 	width := len(g.xs[0])
 	k := g.cfg.featuresPerSplit(width)
-	feats := g.rng.Perm(width)[:k]
+	feats := g.sampler.sample(k)
 
 	bestGain := 1e-10
-	sorted := make([]int, len(idx))
+	sorted := g.sorted[:len(idx)]
 	for _, f := range feats {
 		copy(sorted, idx)
 		sort.Slice(sorted, func(a, b int) bool { return g.xs[sorted[a]][f] < g.xs[sorted[b]][f] })
