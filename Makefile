@@ -27,9 +27,12 @@ BASELINE_NS     ?= 77893883
 BASELINE_BYTES  ?= 21106284
 BASELINE_ALLOCS ?= 34346
 
+# bench writes BENCH_train.json (training: histogram vs exact split
+# finding) and BENCH_predict.json (scoring: flattened batch kernel vs
+# the per-row interface path) via cmd/mfpabench.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search ./internal/ml/forest ./internal/ml/gbdt
-	$(GO) run ./cmd/mfpabench -out BENCH_train.json -benchtime 2s \
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search ./internal/ml/predict ./internal/ml/forest ./internal/ml/gbdt
+	$(GO) run ./cmd/mfpabench -out BENCH_train.json -predict-out BENCH_predict.json -benchtime 2s \
 		-baseline-ref $(BASELINE_REF) -baseline-ns $(BASELINE_NS) \
 		-baseline-bytes $(BASELINE_BYTES) -baseline-allocs $(BASELINE_ALLOCS)
 

@@ -69,6 +69,10 @@ func main() {
 		rounds    = flag.Int("rounds", 60, "GBDT boosting rounds")
 		benchtime = flag.Duration("benchtime", time.Second, "target time per benchmark")
 
+		predictOut   = flag.String("predict-out", "BENCH_predict.json", "predict report path (empty disables the scoring benchmarks)")
+		predictTrain = flag.Int("predict-train-rows", 50000, "training rows of the wide scoring workload")
+		predictProbe = flag.Int("predict-probe-rows", 100000, "probe rows of the wide scoring workload")
+
 		// Pre-refactor BenchmarkForestTrain numbers, measured at the
 		// commit before this engine landed (see Makefile bench target);
 		// when given, the report records the old-vs-new speedup too.
@@ -82,7 +86,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	train, err := standardTrainingSet(*scale)
+	train, allSamples, err := standardTrainingSet(*scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,6 +175,12 @@ func main() {
 		fmt.Printf("%-30s %6.2fx faster, %6.2fx fewer allocations\n", key, s.TimeRatio, s.AllocRatio)
 	}
 	fmt.Printf("written to %s\n", *out)
+
+	if *predictOut != "" {
+		fmt.Printf("scoring benchmarks: wide %d train / %d probe rows, fleet %d train / %d probe rows\n",
+			*predictTrain, *predictProbe, len(train), len(allSamples))
+		runPredictBench(*predictOut, *predictTrain, *predictProbe, train, allSamples)
+	}
 }
 
 func ratio(exact, hist Result) Speedup {
@@ -220,24 +230,30 @@ func moons(n int, seed int64) []ml.Sample {
 // standardTrainingSet reproduces mfpatrain's default data path: the
 // standard simulated fleet, vendor I, SFWB features, time-based
 // segmentation, 3:1 under-sampling — the exact training set every
-// grid-search and feature-selection experiment hammers.
-func standardTrainingSet(scale float64) ([]ml.Sample, error) {
+// grid-search and feature-selection experiment hammers. It also
+// returns the full (pre-split, pre-undersampling) sample set, which is
+// the fleet-wide scoring workload of the predict benchmarks.
+func standardTrainingSet(scale float64) (train, all []ml.Sample, err error) {
 	fleetCfg := simfleet.DefaultConfig()
 	fleetCfg.Seed = 1
 	fleetCfg.FailureScale = scale
 	fleet, err := simfleet.Simulate(fleetCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg := core.DefaultConfig("I")
 	p, err := core.Prepare(fleet.Data, fleet.Tickets, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	samples, err := p.BuildSamples()
+	all, err = p.BuildSamples()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	train, _ := sampling.SplitFraction(samples, p.Config.TrainFrac)
-	return sampling.UnderSample(train, p.Config.NegativeRatio, p.Config.Seed)
+	split, _ := sampling.SplitFraction(all, p.Config.TrainFrac)
+	train, err = sampling.UnderSample(split, p.Config.NegativeRatio, p.Config.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, all, nil
 }

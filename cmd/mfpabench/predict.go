@@ -1,0 +1,204 @@
+// Predict-side benchmarks: the flattened batch inference engine
+// (internal/ml/predict) against the per-row Classifier interface path,
+// recorded in BENCH_predict.json. Two workloads bracket the deployment
+// envelope:
+//
+//   - wide: a production-shaped ensemble (100 trees at depth 16 on 32
+//     noisy features; ~half a million nodes) scoring a 100k-row probe —
+//     the regime the arena layout and blocked kernel are built for.
+//   - fleet: the standard simulated-fleet models scoring every sample
+//     of the fleet, the shape core.EvaluateSamplesAt and the agent's
+//     daily scoring pass actually run.
+//
+// Each workload measures the batch path at GOMAXPROCS workers and at
+// workers=1, plus the per-row interface path (batch detection
+// suppressed) at GOMAXPROCS workers as the speedup denominator.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/gbdt"
+)
+
+// perRowOnly hides a model's ml.BatchClassifier implementation so
+// ml.ScoreBatch falls back to the per-row interface path.
+type perRowOnly struct{ ml.Classifier }
+
+// ScoreSpeedup compares batch against per-row scoring of one model on
+// one workload.
+type ScoreSpeedup struct {
+	PerRow    Result  `json:"per_row"`
+	Batch     Result  `json:"batch"`
+	TimeRatio float64 `json:"time_ratio"`
+}
+
+// PredictReport is the BENCH_predict.json schema.
+type PredictReport struct {
+	GoVersion   string                    `json:"go_version"`
+	GoMaxProcs  int                       `json:"go_max_procs"`
+	GeneratedAt string                    `json:"generated_at"`
+	Workloads   map[string]map[string]int `json:"workloads"`
+	Benchmarks  []Result                  `json:"benchmarks"`
+	Speedups    map[string]ScoreSpeedup   `json:"speedups"`
+}
+
+// wideNoisy generates the production-shaped scoring workload: 32
+// features, a nonlinear signal plus label noise, so trees grow to the
+// depth limit the way forests do on real telemetry.
+func wideNoisy(n int, seed int64) []ml.Sample {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]ml.Sample, n)
+	for i := range out {
+		x := make([]float64, 32)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		s := x[0]*x[1] + x[2] - x[3]*x[4] + 0.5*r.NormFloat64()
+		y := 0
+		if s > 0 {
+			y = 1
+		}
+		out[i] = ml.Sample{X: x, Y: y}
+	}
+	return out
+}
+
+// benchScore times one scoring configuration over a prebuilt design
+// matrix, warming the classifier first so lazy arena compilation stays
+// outside the measurement.
+func benchScore(name string, clf ml.Classifier, xs [][]float64, workers int) Result {
+	out := make([]float64, len(xs))
+	ml.ScoreBatch(clf, xs, out, workers)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ml.ScoreBatch(clf, xs, out, workers)
+		}
+	})
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+	fmt.Printf("  %-36s %12.0f ns/op %9d allocs/op\n", name, res.NsPerOp, res.AllocsPerOp)
+	return res
+}
+
+// ensembleNodes sums a trained model's tree node counts.
+func ensembleNodes(clf ml.Classifier) int {
+	n := 0
+	switch m := clf.(type) {
+	case *forest.Model:
+		for _, t := range m.Export().Trees {
+			n += len(t.Nodes)
+		}
+	case *gbdt.Model:
+		for _, t := range m.Export().Trees {
+			n += len(t.Nodes)
+		}
+	}
+	return n
+}
+
+// runPredictBench trains both workloads' ensembles, benchmarks batch
+// vs per-row scoring, and writes the report to path.
+func runPredictBench(path string, wideTrain, wideProbe int, fleetTrain, fleetProbe []ml.Sample) {
+	report := PredictReport{
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Workloads:   map[string]map[string]int{},
+		Speedups:    map[string]ScoreSpeedup{},
+	}
+
+	type workload struct {
+		name         string
+		train, probe []ml.Sample
+		rf           *forest.Trainer
+		gb           *gbdt.Trainer
+	}
+	workloads := []workload{
+		{
+			name:  "wide",
+			train: wideNoisy(wideTrain, 1),
+			probe: wideNoisy(wideProbe, 2),
+			rf:    &forest.Trainer{Trees: 100, MaxDepth: 16, Seed: 1},
+			gb:    &gbdt.Trainer{Rounds: 100, MaxDepth: 8, Subsample: 0.8, Seed: 1},
+		},
+		{
+			name:  "fleet",
+			train: fleetTrain,
+			probe: fleetProbe,
+			rf:    &forest.Trainer{Trees: 50, MaxDepth: 12, Seed: 1},
+			gb:    &gbdt.Trainer{Rounds: 60, MaxDepth: 4, Subsample: 0.8, Seed: 1},
+		},
+	}
+
+	for _, w := range workloads {
+		xs := make([][]float64, len(w.probe))
+		for i := range w.probe {
+			xs[i] = w.probe[i].X
+		}
+		info := map[string]int{
+			"train_rows": len(w.train),
+			"probe_rows": len(w.probe),
+			"features":   len(w.probe[0].X),
+		}
+		for _, algo := range []string{"forest", "gbdt"} {
+			var trainer ml.Trainer
+			if algo == "forest" {
+				trainer = w.rf
+			} else {
+				trainer = w.gb
+			}
+			clf, err := trainer.Train(w.train)
+			if err != nil {
+				log.Fatal(err)
+			}
+			info[algo+"_nodes"] = ensembleNodes(clf)
+			prefix := fmt.Sprintf("ScoreBatch/%s/%s", w.name, algo)
+			batch := benchScore(prefix+"/batch", clf, xs, 0)
+			serial := benchScore(prefix+"/batch-serial", clf, xs, 1)
+			perRow := benchScore(prefix+"/per-row", perRowOnly{clf}, xs, 0)
+			report.Benchmarks = append(report.Benchmarks, batch, serial, perRow)
+			s := ScoreSpeedup{PerRow: perRow, Batch: batch}
+			if batch.NsPerOp > 0 {
+				s.TimeRatio = perRow.NsPerOp / batch.NsPerOp
+			}
+			report.Speedups[fmt.Sprintf("predict_%s_%s", w.name, algo)] = s
+		}
+		report.Workloads[w.name] = info
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range workloads {
+		for _, algo := range []string{"forest", "gbdt"} {
+			key := fmt.Sprintf("predict_%s_%s", w.name, algo)
+			fmt.Printf("%-30s %6.2fx faster than per-row\n", key, report.Speedups[key].TimeRatio)
+		}
+	}
+	fmt.Printf("written to %s\n", path)
+}

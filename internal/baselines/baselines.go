@@ -9,6 +9,7 @@ package baselines
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/ml"
@@ -131,21 +132,57 @@ func (t *errorLogRF) Train(samples []ml.Sample) (ml.Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &maskedClassifier{inner: clf, keep: errorLogFeatures}, nil
+	return newMaskedClassifier(clf, errorLogFeatures), nil
 }
 
-// maskedClassifier projects inputs onto a feature subset before
-// delegating.
+// maskedClassifier projects inputs onto a precomputed feature subset
+// before delegating. It implements both ml.Classifier and
+// ml.BatchClassifier, so masked baselines ride the inner model's
+// flattened batch kernel instead of paying a projection allocation per
+// scored row.
 type maskedClassifier struct {
 	inner ml.Classifier
 	keep  []int
+	// scratch recycles per-row projection buffers. Prediction must stay
+	// safe for concurrent use (ml.ScoreBatch fans rows across
+	// goroutines), so the buffer is pooled rather than shared.
+	scratch sync.Pool
+}
+
+func newMaskedClassifier(inner ml.Classifier, keep []int) *maskedClassifier {
+	return &maskedClassifier{inner: inner, keep: keep}
 }
 
 // PredictProba implements ml.Classifier.
 func (m *maskedClassifier) PredictProba(x []float64) float64 {
-	sub := make([]float64, len(m.keep))
+	bp, _ := m.scratch.Get().(*[]float64)
+	if bp == nil {
+		buf := make([]float64, len(m.keep))
+		bp = &buf
+	}
+	sub := *bp
 	for i, idx := range m.keep {
 		sub[i] = x[idx]
 	}
-	return m.inner.PredictProba(sub)
+	p := m.inner.PredictProba(sub)
+	m.scratch.Put(bp)
+	return p
+}
+
+// PredictProbaBatch implements ml.BatchClassifier: every row is
+// projected into one contiguous matrix, then the inner model scores it
+// through its fastest path. Scores are identical to per-row
+// PredictProba at any worker count.
+func (m *maskedClassifier) PredictProbaBatch(xs [][]float64, out []float64, workers int) {
+	k := len(m.keep)
+	backing := make([]float64, len(xs)*k)
+	sub := make([][]float64, len(xs))
+	for r, x := range xs {
+		row := backing[r*k : (r+1)*k : (r+1)*k]
+		for i, idx := range m.keep {
+			row[i] = x[idx]
+		}
+		sub[r] = row
+	}
+	ml.ScoreBatch(m.inner, sub, out, workers)
 }

@@ -101,3 +101,38 @@ func TestMaskedClassifierProjection(t *testing.T) {
 type probe struct{}
 
 func (probe) PredictProba(x []float64) float64 { return x[0] }
+
+func TestMaskedClassifierBatchMatchesPerRow(t *testing.T) {
+	mc := newMaskedClassifier(probe{}, []int{2, 0})
+	xs := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = mc.PredictProba(x)
+	}
+	for _, workers := range []int{1, 0} {
+		out := make([]float64, len(xs))
+		mc.PredictProbaBatch(xs, out, workers)
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d row %d: batch %v != per-row %v", workers, i, out[i], want[i])
+			}
+		}
+	}
+	var _ ml.BatchClassifier = mc
+}
+
+func TestMaskedClassifierConcurrentScoring(t *testing.T) {
+	// The pooled scratch buffer must keep prediction safe for the
+	// concurrent fan-out ml.BatchScores performs.
+	mc := newMaskedClassifier(probe{}, []int{1})
+	samples := make([]ml.Sample, 500)
+	for i := range samples {
+		samples[i] = ml.Sample{X: []float64{0, float64(i), 0}}
+	}
+	scores := ml.BatchScores(mc, samples, 0)
+	for i := range scores {
+		if scores[i] != float64(i) {
+			t.Fatalf("row %d: %v", i, scores[i])
+		}
+	}
+}

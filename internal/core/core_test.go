@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/dataset"
@@ -278,5 +280,56 @@ func TestWalkForwardSkipsEmptyMonths(t *testing.T) {
 	months := m.WalkForward(samples, 30, 4)
 	if len(months) != 1 || months[0].Month != 4 {
 		t.Fatalf("months = %+v", months)
+	}
+}
+
+func TestDayWindowsMatchFilterOnUnsortedInput(t *testing.T) {
+	// Windows are binary-searched subslices of one chronological view;
+	// arrival order of the input must not change any evaluation.
+	r := rand.New(rand.NewSource(9))
+	var samples []ml.Sample
+	for i := 0; i < 300; i++ {
+		samples = append(samples, ml.Sample{
+			X:   []float64{r.Float64()},
+			Y:   r.Intn(2),
+			SN:  fmt.Sprintf("d%02d", r.Intn(20)),
+			Day: r.Intn(120),
+		})
+	}
+	shuffled := append([]ml.Sample(nil), samples...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	m := &Model{Classifier: scoreFirst{}, Threshold: 0.5, TrainEndDay: 20}
+
+	evA := m.EvaluateRange(samples, 30, 60)
+	evB := m.EvaluateRange(shuffled, 30, 60)
+	if evA != evB {
+		t.Fatalf("EvaluateRange depends on input order:\n%+v\n%+v", evA, evB)
+	}
+	moA := m.WalkForward(samples, 30, 3)
+	moB := m.WalkForward(shuffled, 30, 3)
+	if len(moA) != len(moB) {
+		t.Fatalf("month counts differ: %d vs %d", len(moA), len(moB))
+	}
+	for i := range moA {
+		if moA[i] != moB[i] {
+			t.Fatalf("month %d depends on input order:\n%+v\n%+v", i, moA[i], moB[i])
+		}
+	}
+}
+
+func TestWalkForwardDoesNotMutateInput(t *testing.T) {
+	samples := []ml.Sample{
+		{X: []float64{0.2}, SN: "a", Day: 50},
+		{X: []float64{0.3}, SN: "b", Day: 10},
+		{X: []float64{0.4}, SN: "c", Day: 30},
+	}
+	orig := append([]ml.Sample(nil), samples...)
+	m := &Model{Classifier: scoreFirst{}, Threshold: 0.5, TrainEndDay: 0}
+	m.WalkForward(samples, 30, 2)
+	m.EvaluateRange(samples, 0, 100)
+	for i := range samples {
+		if samples[i].SN != orig[i].SN || samples[i].Day != orig[i].Day {
+			t.Fatalf("input reordered at %d: %+v", i, samples[i])
+		}
 	}
 }

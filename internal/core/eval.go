@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/ml"
 	"repro/internal/ml/metrics"
@@ -94,12 +95,7 @@ func (m *Model) Evaluate(samples []ml.Sample) Evaluation {
 // EvaluateRange evaluates only the samples with fromDay ≤ Day ≤ toDay —
 // the walk-forward primitive behind the Figs. 12/16 time-period study.
 func (m *Model) EvaluateRange(samples []ml.Sample, fromDay, toDay int) Evaluation {
-	var window []ml.Sample
-	for i := range samples {
-		if samples[i].Day >= fromDay && samples[i].Day <= toDay {
-			window = append(window, samples[i])
-		}
-	}
+	window := dayWindow(byDay(samples), fromDay, toDay)
 	return EvaluateSamplesAt(m.Classifier, window, m.Threshold)
 }
 
@@ -117,16 +113,14 @@ type MonthlyEvaluation struct {
 // window without re-training, as in the paper's five-month portability
 // study. monthDays is the month length (30 in the paper's framing).
 func (m *Model) WalkForward(samples []ml.Sample, monthDays, months int) []MonthlyEvaluation {
+	// One chronological view up front; each month is then a
+	// binary-searched subslice instead of an O(n) filtered copy.
+	sorted := byDay(samples)
 	out := make([]MonthlyEvaluation, 0, months)
 	for month := 1; month <= months; month++ {
 		from := m.TrainEndDay + 1 + (month-1)*monthDays
 		to := m.TrainEndDay + month*monthDays
-		var window []ml.Sample
-		for i := range samples {
-			if samples[i].Day >= from && samples[i].Day <= to {
-				window = append(window, samples[i])
-			}
-		}
+		window := dayWindow(sorted, from, to)
 		if len(window) == 0 {
 			continue
 		}
@@ -141,6 +135,41 @@ func (m *Model) WalkForward(samples []ml.Sample, monthDays, months int) []Monthl
 		})
 	}
 	return out
+}
+
+// daySorted reports whether samples are already in non-decreasing Day
+// order, which is how the sampling pipeline emits them.
+func daySorted(samples []ml.Sample) bool {
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Day < samples[i-1].Day {
+			return false
+		}
+	}
+	return true
+}
+
+// byDay returns a chronologically ordered view of samples: the input
+// itself when already sorted (the common case — zero copies), otherwise
+// one stable-sorted copy shared by every window drawn from it.
+func byDay(samples []ml.Sample) []ml.Sample {
+	if daySorted(samples) {
+		return samples
+	}
+	sorted := make([]ml.Sample, len(samples))
+	copy(sorted, samples)
+	ml.SortByDay(sorted)
+	return sorted
+}
+
+// dayWindow returns the subslice of a day-sorted view holding
+// fromDay ≤ Day ≤ toDay.
+func dayWindow(sorted []ml.Sample, fromDay, toDay int) []ml.Sample {
+	lo := sort.Search(len(sorted), func(i int) bool { return sorted[i].Day >= fromDay })
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i].Day > toDay })
+	if lo >= hi {
+		return nil
+	}
+	return sorted[lo:hi]
 }
 
 // Youden returns the TPR−FPR Youden index of an evaluation, a single

@@ -2,14 +2,53 @@ package ml
 
 import "repro/internal/parallel"
 
-// BatchScores scores every sample with clf, fanning the PredictProba
-// calls out across workers (0 = GOMAXPROCS, 1 = serial) and returning
-// the scores in sample order. Every classifier in this repository is
-// read-only during prediction, which is what makes the fan-out safe;
-// external Classifier implementations used with this helper must be
-// too. Scores are identical at any worker count.
-func BatchScores(clf Classifier, samples []Sample, workers int) []float64 {
-	return parallel.Collect(len(samples), workers, func(i int) float64 {
-		return clf.PredictProba(samples[i].X)
+// BatchClassifier is the fast-path scoring interface: classifiers that
+// can score a whole matrix of rows at once (typically through a
+// compiled, flattened form) implement it in addition to Classifier.
+// PredictProbaBatch must write exactly the per-row PredictProba scores
+// into out (len(out) == len(xs)), must be safe for concurrent use, and
+// must honour the repository Workers convention (0 = GOMAXPROCS,
+// 1 = serial) with results identical at any worker count.
+type BatchClassifier interface {
+	Classifier
+	PredictProbaBatch(xs [][]float64, out []float64, workers int)
+}
+
+// ScoreBatch scores raw feature vectors into out through the fastest
+// path clf offers: the flattened batch kernel when clf implements
+// BatchClassifier, otherwise a per-row fan-out via internal/parallel.
+// Both paths produce identical scores at any worker count.
+func ScoreBatch(clf Classifier, xs [][]float64, out []float64, workers int) {
+	if len(xs) != len(out) {
+		panic("ml: ScoreBatch rows and outputs differ in length")
+	}
+	if bc, ok := clf.(BatchClassifier); ok {
+		bc.PredictProbaBatch(xs, out, workers)
+		return
+	}
+	// Every classifier in this repository is read-only during
+	// prediction, which is what makes the fan-out safe; external
+	// Classifier implementations used with this helper must be too.
+	_ = parallel.Do(len(xs), workers, func(i int) error {
+		out[i] = clf.PredictProba(xs[i])
+		return nil
 	})
+}
+
+// BatchScores scores every sample with clf and returns the scores in
+// sample order, preferring the BatchClassifier fast path when clf
+// provides one and falling back to fanning PredictProba calls across
+// workers (0 = GOMAXPROCS, 1 = serial) otherwise. Scores are identical
+// across paths and at any worker count.
+func BatchScores(clf Classifier, samples []Sample, workers int) []float64 {
+	out := make([]float64, len(samples))
+	if len(samples) == 0 {
+		return out
+	}
+	xs := make([][]float64, len(samples))
+	for i := range samples {
+		xs[i] = samples[i].X
+	}
+	ScoreBatch(clf, xs, out, workers)
+	return out
 }

@@ -1,0 +1,68 @@
+package ml
+
+import "testing"
+
+// constClf scores rows per-row only.
+type constClf struct{}
+
+func (constClf) PredictProba(x []float64) float64 { return x[0] / 2 }
+
+// recordingBatch implements BatchClassifier and records whether the
+// batch path was taken.
+type recordingBatch struct {
+	constClf
+	batchCalls int
+	gotWorkers int
+}
+
+func (r *recordingBatch) PredictProbaBatch(xs [][]float64, out []float64, workers int) {
+	r.batchCalls++
+	r.gotWorkers = workers
+	for i := range xs {
+		out[i] = r.PredictProba(xs[i])
+	}
+}
+
+func batchSamples() []Sample {
+	return []Sample{
+		{X: []float64{0.2}}, {X: []float64{0.8}}, {X: []float64{1.4}},
+	}
+}
+
+func TestBatchScoresPrefersBatchClassifier(t *testing.T) {
+	rb := &recordingBatch{}
+	scores := BatchScores(rb, batchSamples(), 3)
+	if rb.batchCalls != 1 {
+		t.Fatalf("batch path taken %d times, want 1", rb.batchCalls)
+	}
+	if rb.gotWorkers != 3 {
+		t.Fatalf("workers = %d, want 3 threaded through", rb.gotWorkers)
+	}
+	want := BatchScores(constClf{}, batchSamples(), 1)
+	for i := range scores {
+		if scores[i] != want[i] {
+			t.Fatalf("row %d: batch %v != per-row %v", i, scores[i], want[i])
+		}
+	}
+}
+
+func TestBatchScoresEmptyAndFallback(t *testing.T) {
+	if got := BatchScores(constClf{}, nil, 0); len(got) != 0 {
+		t.Fatalf("empty sample set scored %d rows", len(got))
+	}
+	scores := BatchScores(constClf{}, batchSamples(), 0)
+	for i, s := range batchSamples() {
+		if scores[i] != s.X[0]/2 {
+			t.Fatalf("row %d: %v", i, scores[i])
+		}
+	}
+}
+
+func TestScoreBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths accepted")
+		}
+	}()
+	ScoreBatch(constClf{}, make([][]float64, 2), make([]float64, 3), 1)
+}

@@ -85,3 +85,38 @@ func BenchmarkForestExplain(b *testing.B) {
 		m.Explain(x)
 	}
 }
+
+// perRowOnly hides the model's BatchClassifier implementation so
+// benchmarks can measure the legacy per-row interface path.
+type perRowOnly struct{ ml.Classifier }
+
+// BenchmarkForestScoreBatch measures fleet-style scoring through the
+// flattened batch kernel at GOMAXPROCS workers.
+func BenchmarkForestScoreBatch(b *testing.B) {
+	clf, err := (&Trainer{Trees: 100, MaxDepth: 12, Seed: 1}).Train(benchData(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := rings(10000, 2)
+	clf.(*Model).flatten() // compile outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.BatchScores(clf, probe, 0)
+	}
+}
+
+// BenchmarkForestScorePerRow is the same workload through the per-row
+// interface path (batch detection suppressed), the speedup denominator.
+func BenchmarkForestScorePerRow(b *testing.B) {
+	clf, err := (&Trainer{Trees: 100, MaxDepth: 12, Seed: 1}).Train(benchData(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := rings(10000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.BatchScores(perRowOnly{clf}, probe, 0)
+	}
+}

@@ -15,9 +15,11 @@ package forest
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/ml/matrix"
+	"repro/internal/ml/predict"
 	"repro/internal/ml/tree"
 	"repro/internal/parallel"
 )
@@ -128,6 +130,12 @@ func (t *Trainer) Train(samples []ml.Sample) (ml.Classifier, error) {
 // Model is a fitted random forest.
 type Model struct {
 	trees []*tree.Classifier
+
+	// flat is the compiled batch inference form, built lazily on the
+	// first batch call so training and Import stay cheap; models
+	// reconstructed by modelio therefore rebuild it automatically.
+	flatOnce sync.Once
+	flat     *predict.Ensemble
 }
 
 // PredictProba implements ml.Classifier: the mean of the trees' leaf
@@ -138,6 +146,36 @@ func (m *Model) PredictProba(x []float64) float64 {
 		s += t.PredictProba(x)
 	}
 	return s / float64(len(m.trees))
+}
+
+// flatten compiles (once) the flattened inference arena. Compilation
+// from a fitted model's own trees cannot fail; a nil return covers the
+// degenerate empty model.
+func (m *Model) flatten() *predict.Ensemble {
+	m.flatOnce.Do(func() {
+		exported := make([]tree.Exported, len(m.trees))
+		for i, t := range m.trees {
+			exported[i] = t.Export()
+		}
+		if e, err := predict.CompileForest(exported); err == nil {
+			m.flat = e
+		}
+	})
+	return m.flat
+}
+
+// PredictProbaBatch implements ml.BatchClassifier on the flattened
+// arena: scores are bit-exact against PredictProba at any worker count
+// (0 = GOMAXPROCS, 1 = serial).
+func (m *Model) PredictProbaBatch(xs [][]float64, out []float64, workers int) {
+	if e := m.flatten(); e != nil {
+		e.PredictProbaBatch(xs, out, workers)
+		return
+	}
+	_ = parallel.Do(len(xs), workers, func(i int) error {
+		out[i] = m.PredictProba(xs[i])
+		return nil
+	})
 }
 
 // Size returns the ensemble size.

@@ -281,3 +281,35 @@ func TestForestExplainFaithful(t *testing.T) {
 		}
 	}
 }
+
+func TestForestBatchMatchesPerRowExactly(t *testing.T) {
+	clf, err := (&Trainer{Trees: 40, MaxDepth: 10, Seed: 1}).Train(rings(800, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clf.(*Model)
+	probe := rings(700, 41) // straddles the batch kernel's block size
+	xs := make([][]float64, len(probe))
+	want := make([]float64, len(probe))
+	for i := range probe {
+		xs[i] = probe[i].X
+		want[i] = m.PredictProba(probe[i].X)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		out := make([]float64, len(xs))
+		m.PredictProbaBatch(xs, out, workers)
+		for i := range out {
+			if out[i] != want[i] { // bit-exact, not approximate
+				t.Fatalf("workers=%d row %d: batch %v != per-row %v", workers, i, out[i], want[i])
+			}
+		}
+	}
+	// The model must surface the fast path through the ml interface.
+	var _ ml.BatchClassifier = m
+	scores := ml.BatchScores(m, probe, 0)
+	for i := range scores {
+		if scores[i] != want[i] {
+			t.Fatalf("BatchScores row %d: %v != %v", i, scores[i], want[i])
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package gbdt
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
 
 func BenchmarkGBDTTrain(b *testing.B) {
 	train := moons(1000, 1)
@@ -38,5 +42,40 @@ func BenchmarkGBDTPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clf.PredictProba(x)
+	}
+}
+
+// perRowOnly hides the model's BatchClassifier implementation so
+// benchmarks can measure the legacy per-row interface path.
+type perRowOnly struct{ ml.Classifier }
+
+// BenchmarkGBDTScoreBatch measures fleet-style scoring through the
+// flattened batch kernel at GOMAXPROCS workers.
+func BenchmarkGBDTScoreBatch(b *testing.B) {
+	clf, err := (&Trainer{Rounds: 100, MaxDepth: 4, Seed: 1}).Train(moons(500, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := moons(5000, 2)
+	clf.(*Model).flatten() // compile outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.BatchScores(clf, probe, 0)
+	}
+}
+
+// BenchmarkGBDTScorePerRow is the same workload through the per-row
+// interface path (batch detection suppressed), the speedup denominator.
+func BenchmarkGBDTScorePerRow(b *testing.B) {
+	clf, err := (&Trainer{Rounds: 100, MaxDepth: 4, Seed: 1}).Train(moons(500, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := moons(5000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.BatchScores(perRowOnly{clf}, probe, 0)
 	}
 }

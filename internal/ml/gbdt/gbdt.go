@@ -14,10 +14,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/ml/matrix"
+	"repro/internal/ml/predict"
 	"repro/internal/ml/tree"
+	"repro/internal/parallel"
 )
 
 // Trainer configures boosting.
@@ -180,6 +183,12 @@ type Model struct {
 	bias  float64
 	lr    float64
 	trees []*tree.Regressor
+
+	// flat is the compiled batch inference form, built lazily on the
+	// first batch call so training and Import stay cheap; models
+	// reconstructed by modelio therefore rebuild it automatically.
+	flatOnce sync.Once
+	flat     *predict.Ensemble
 }
 
 // RawScore returns the additive log-odds score of x.
@@ -193,6 +202,36 @@ func (m *Model) RawScore(x []float64) float64 {
 
 // PredictProba implements ml.Classifier.
 func (m *Model) PredictProba(x []float64) float64 { return sigmoid(m.RawScore(x)) }
+
+// flatten compiles (once) the flattened inference arena. Compilation
+// from a fitted model's own trees cannot fail; a nil return covers
+// defensive failure.
+func (m *Model) flatten() *predict.Ensemble {
+	m.flatOnce.Do(func() {
+		exported := make([]tree.Exported, len(m.trees))
+		for i, t := range m.trees {
+			exported[i] = t.Export()
+		}
+		if e, err := predict.CompileGBDT(exported, m.bias, m.lr); err == nil {
+			m.flat = e
+		}
+	})
+	return m.flat
+}
+
+// PredictProbaBatch implements ml.BatchClassifier on the flattened
+// arena: scores are bit-exact against PredictProba at any worker count
+// (0 = GOMAXPROCS, 1 = serial).
+func (m *Model) PredictProbaBatch(xs [][]float64, out []float64, workers int) {
+	if e := m.flatten(); e != nil {
+		e.PredictProbaBatch(xs, out, workers)
+		return
+	}
+	_ = parallel.Do(len(xs), workers, func(i int) error {
+		out[i] = m.PredictProba(xs[i])
+		return nil
+	})
+}
 
 // Rounds returns the number of boosted trees.
 func (m *Model) Rounds() int { return len(m.trees) }

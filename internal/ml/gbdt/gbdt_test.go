@@ -234,3 +234,34 @@ func TestImportRejectsCorrupt(t *testing.T) {
 		t.Error("zero learning rate accepted")
 	}
 }
+
+func TestGBDTBatchMatchesPerRowExactly(t *testing.T) {
+	clf, err := (&Trainer{Rounds: 40, MaxDepth: 4, Subsample: 0.8, Seed: 1}).Train(moons(400, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clf.(*Model)
+	probe := moons(350, 51) // 700 rows straddle the batch kernel's block size
+	xs := make([][]float64, len(probe))
+	want := make([]float64, len(probe))
+	for i := range probe {
+		xs[i] = probe[i].X
+		want[i] = m.PredictProba(probe[i].X)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		out := make([]float64, len(xs))
+		m.PredictProbaBatch(xs, out, workers)
+		for i := range out {
+			if out[i] != want[i] { // bit-exact, not approximate
+				t.Fatalf("workers=%d row %d: batch %v != per-row %v", workers, i, out[i], want[i])
+			}
+		}
+	}
+	var _ ml.BatchClassifier = m
+	scores := ml.BatchScores(m, probe, 0)
+	for i := range scores {
+		if scores[i] != want[i] {
+			t.Fatalf("BatchScores row %d: %v != %v", i, scores[i], want[i])
+		}
+	}
+}

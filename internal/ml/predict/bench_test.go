@@ -1,0 +1,69 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml/tree"
+)
+
+// benchEnsemble compiles a synthetic forest-shaped arena plus a scoring
+// matrix. The small configuration (~10 k nodes) lands on the AoS
+// rows-direct path, the large one (> directNodes) on the padded blocked
+// kernel, so both dispatch arms are benchmarked.
+func benchEnsemble(b *testing.B, nTrees, maxDepth, rows int) (*Ensemble, [][]float64) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	const width = 32
+	trees := make([]tree.Exported, nTrees)
+	for i := range trees {
+		trees[i] = randTree(r, width, maxDepth)
+	}
+	e, err := CompileForest(trees)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, randRows(r, rows, width)
+}
+
+func benchBatch(b *testing.B, nTrees, maxDepth, workers int) {
+	e, xs := benchEnsemble(b, nTrees, maxDepth, 20000)
+	out := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PredictProbaBatch(xs, out, workers)
+	}
+}
+
+func BenchmarkBatchPredict(b *testing.B) {
+	b.Run("small", func(b *testing.B) { benchBatch(b, 100, 10, 0) })
+	b.Run("large", func(b *testing.B) { benchBatch(b, 400, 12, 0) })
+}
+
+func BenchmarkBatchPredictSerial(b *testing.B) {
+	b.Run("small", func(b *testing.B) { benchBatch(b, 100, 10, 1) })
+	b.Run("large", func(b *testing.B) { benchBatch(b, 400, 12, 1) })
+}
+
+// BenchmarkPerRowPredict walks the same arenas one row at a time — the
+// cost of skipping the batch kernel, with the arena's layout advantage
+// already granted.
+func BenchmarkPerRowPredict(b *testing.B) {
+	for _, cfg := range []struct {
+		name             string
+		nTrees, maxDepth int
+	}{{"small", 100, 10}, {"large", 400, 12}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e, xs := benchEnsemble(b, cfg.nTrees, cfg.maxDepth, 20000)
+			out := make([]float64, len(xs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r, x := range xs {
+					out[r] = e.PredictProba(x)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ml"
 	"repro/internal/simfleet"
 )
 
@@ -107,5 +108,47 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Unmarshal([]byte(`{"version":1,"algorithm":"RF","group":"SFWB","threshold":0.5,"payload":{"Trees":[]}}`)); err == nil {
 		t.Fatal("empty forest accepted")
+	}
+}
+
+// TestBatchPredictionsSurviveRoundTrip asserts the flattened batch
+// inference form is rebuilt after export/import: a restored RF or GBDT
+// model still exposes ml.BatchClassifier and its batch scores are
+// bit-exact against both the original model and the restored per-row
+// path.
+func TestBatchPredictionsSurviveRoundTrip(t *testing.T) {
+	models := trainedModels(t)
+	for _, algo := range []core.Algorithm{core.AlgoRF, core.AlgoGBDT} {
+		m := models[algo]
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		restored, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		rb, ok := restored.Classifier.(ml.BatchClassifier)
+		if !ok {
+			t.Fatalf("%s: restored model lost the batch fast path", algo)
+		}
+		xs := make([][]float64, 600) // straddles the kernel's block size
+		for r := range xs {
+			x := make([]float64, m.Width)
+			for i := range x {
+				x[i] = float64((r+1)*(i+3)%97) * 1.5
+			}
+			xs[r] = x
+		}
+		got := make([]float64, len(xs))
+		rb.PredictProbaBatch(xs, got, 0)
+		for i, x := range xs {
+			if want := m.Predict(x); got[i] != want {
+				t.Fatalf("%s: row %d: restored batch %v != original %v", algo, i, got[i], want)
+			}
+			if want := restored.Predict(x); got[i] != want {
+				t.Fatalf("%s: row %d: restored batch %v != restored per-row %v", algo, i, got[i], want)
+			}
+		}
 	}
 }
