@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench report
+.PHONY: build test vet lint race bench report
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint gates on vet plus gofmt: any file gofmt would rewrite fails the
+# target and is listed.
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 # race exercises every parallelised stage (the parallel engine, fleet
-# simulation, cleaning, extraction, training, search) under the race
-# detector; determinism tests double as ordering checks.
+# simulation, cleaning, extraction, training, sampling views, the
+# pipeline front-end, search) under the race detector; determinism
+# tests double as ordering checks.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/features
+	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/features ./internal/sampling ./internal/core
 
 # Seed-commit BenchmarkForestTrain numbers (pre histogram engine),
 # measured with `git worktree add <dir> <ref>` + `go test -bench
@@ -28,11 +38,13 @@ BASELINE_BYTES  ?= 21106284
 BASELINE_ALLOCS ?= 34346
 
 # bench writes BENCH_train.json (training: histogram vs exact split
-# finding) and BENCH_predict.json (scoring: flattened batch kernel vs
-# the per-row interface path) via cmd/mfpabench.
+# finding), BENCH_predict.json (scoring: flattened batch kernel vs the
+# per-row interface path), and BENCH_search.json (bin-once SampleSet
+# views vs the per-candidate slice-copy representation) via
+# cmd/mfpabench.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search ./internal/ml/predict ./internal/ml/forest ./internal/ml/gbdt
-	$(GO) run ./cmd/mfpabench -out BENCH_train.json -predict-out BENCH_predict.json -benchtime 2s \
+	$(GO) run ./cmd/mfpabench -out BENCH_train.json -predict-out BENCH_predict.json -search-out BENCH_search.json -benchtime 2s \
 		-baseline-ref $(BASELINE_REF) -baseline-ns $(BASELINE_NS) \
 		-baseline-bytes $(BASELINE_BYTES) -baseline-allocs $(BASELINE_ALLOCS)
 

@@ -73,6 +73,8 @@ func main() {
 		predictTrain = flag.Int("predict-train-rows", 50000, "training rows of the wide scoring workload")
 		predictProbe = flag.Int("predict-probe-rows", 100000, "probe rows of the wide scoring workload")
 
+		searchOut = flag.String("search-out", "BENCH_search.json", "search report path (empty disables the SampleSet/view benchmarks)")
+
 		// Pre-refactor BenchmarkForestTrain numbers, measured at the
 		// commit before this engine landed (see Makefile bench target);
 		// when given, the report records the old-vs-new speedup too.
@@ -86,7 +88,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	train, allSamples, err := standardTrainingSet(*scale)
+	train, allSamples, prepared, err := standardTrainingSet(*scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -181,6 +183,10 @@ func main() {
 			*predictTrain, *predictProbe, len(train), len(allSamples))
 		runPredictBench(*predictOut, *predictTrain, *predictProbe, train, allSamples)
 	}
+
+	if *searchOut != "" {
+		runSearchBench(*searchOut, prepared)
+	}
 }
 
 func ratio(exact, hist Result) Speedup {
@@ -233,27 +239,27 @@ func moons(n int, seed int64) []ml.Sample {
 // grid-search and feature-selection experiment hammers. It also
 // returns the full (pre-split, pre-undersampling) sample set, which is
 // the fleet-wide scoring workload of the predict benchmarks.
-func standardTrainingSet(scale float64) (train, all []ml.Sample, err error) {
+func standardTrainingSet(scale float64) (train, all []ml.Sample, p *core.Prepared, err error) {
 	fleetCfg := simfleet.DefaultConfig()
 	fleetCfg.Seed = 1
 	fleetCfg.FailureScale = scale
 	fleet, err := simfleet.Simulate(fleetCfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cfg := core.DefaultConfig("I")
-	p, err := core.Prepare(fleet.Data, fleet.Tickets, cfg)
+	p, err = core.Prepare(fleet.Data, fleet.Tickets, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	all, err = p.BuildSamples()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	split, _ := sampling.SplitFraction(all, p.Config.TrainFrac)
 	train, err = sampling.UnderSample(split, p.Config.NegativeRatio, p.Config.Seed)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return train, all, nil
+	return train, all, p, nil
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+)
+
+// discreteCal draws features from small integer alphabets (the binning
+// exactness regime) across a long day range so time-series CV folds
+// are well-populated.
+func discreteCal(n int, seed int64) []ml.Sample {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]ml.Sample, n)
+	for i := range out {
+		a := float64(r.Intn(14))
+		b := float64(r.Intn(6))
+		y := 0
+		if a+b > 10 {
+			y = 1
+		}
+		if r.Float64() < 0.1 {
+			y = 1 - y
+		}
+		out[i] = ml.Sample{
+			X:   []float64{a, b, float64(r.Intn(4))},
+			Y:   y,
+			Day: i / 4,
+			SN:  fmt.Sprintf("d%d", i%31),
+		}
+	}
+	return out
+}
+
+// TestCalibrateThresholdViewMatchesSlice pins satellite behaviour of
+// the view rewrite: the preallocated, view-based calibration must pick
+// exactly the threshold the append-growing slice implementation did.
+func TestCalibrateThresholdViewMatchesSlice(t *testing.T) {
+	for _, seed := range []int64{2, 19} {
+		samples := discreteCal(600, seed)
+		set, err := ml.FromSamples(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{CVFolds: 3, NegativeRatio: 3, Seed: seed, Workers: 2}
+		trainer := &forest.Trainer{Trees: 15, MaxDepth: 6, Seed: seed}
+
+		want, err := calibrateThreshold(trainer, samples, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := calibrateThresholdView(trainer, set.All(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed=%d: view threshold %v, slice threshold %v", seed, got, want)
+		}
+	}
+}
+
+// TestCalibrateThresholdViewNoUsableFolds mirrors the slice error
+// contract when every fold is single-class.
+func TestCalibrateThresholdViewNoUsableFolds(t *testing.T) {
+	neg := make([]ml.Sample, 40)
+	for i := range neg {
+		neg[i] = ml.Sample{X: []float64{float64(i % 5)}, Y: 0, Day: i}
+	}
+	set, err := ml.FromSamples(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CVFolds: 2, NegativeRatio: 3, Seed: 1, Workers: 1}
+	if _, err := calibrateThresholdView(&forest.Trainer{Trees: 3}, set.All(), cfg); err == nil {
+		t.Fatal("all-negative calibration accepted")
+	}
+}

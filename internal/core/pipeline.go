@@ -49,9 +49,16 @@ func Prepare(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Prepare
 	p := &Prepared{Config: cfg}
 	start := time.Now()
 	if cfg.SkipClean {
-		// Ablation path: keep gaps; work on a private copy because
-		// Cumulate mutates records in place.
-		p.Data = data.Clone()
+		if cfg.SkipCumulate {
+			// Double-ablation path: with cleaning and cumulation both
+			// off, nothing downstream mutates the dataset, so the
+			// defensive copy would be pure overhead.
+			p.Data = data
+		} else {
+			// Ablation path: keep gaps; work on a private copy because
+			// Cumulate mutates records in place.
+			p.Data = data.Clone()
+		}
 	} else {
 		cleaned, stats, err := dataset.CleanDiscontinuityWorkers(data, cfg.GapPolicy, cfg.Workers)
 		if err != nil {
@@ -95,6 +102,19 @@ func (p *Prepared) BuildSamples() ([]ml.Sample, error) {
 	return features.BuildSamples(p.Data, p.Labels, p.Extractor, opts)
 }
 
+// BuildSampleSet extracts the flat labelled samples directly into a
+// columnar ml.SampleSet — the representation the view-based training
+// path shares across splits, calibration folds, and search candidates.
+// Row content and order match BuildSamples exactly. The sequential
+// CNN_LSTM representation (overlapping windows) has no flat-arena
+// form; its call sites stay on BuildSamples.
+func (p *Prepared) BuildSampleSet() (*ml.SampleSet, error) {
+	opts := features.DefaultBuildOptions()
+	opts.PositiveWindowDays = p.Config.PositiveWindowDays
+	opts.Workers = p.Config.Workers
+	return features.BuildSampleSet(p.Data, p.Labels, p.Extractor, opts)
+}
+
 // Model is a trained MFPA failure predictor.
 type Model struct {
 	Config      Config
@@ -129,7 +149,93 @@ type TrainReport struct {
 // Train runs the modelling stages of MFPA on prepared data: sample
 // construction → timepoint segmentation → under-sampling → training →
 // held-out evaluation.
+//
+// Flat algorithms run on the columnar view path: samples are extracted
+// once into a shared ml.SampleSet arena, and segmentation,
+// under-sampling, threshold calibration, and training all operate on
+// zero-copy row-index views of it (bin-once for the tree ensembles).
+// The sequential CNN_LSTM representation has no flat-arena form and
+// keeps the per-sample slice path.
 func Train(p *Prepared, tests ...[]ml.Sample) (*Model, *TrainReport, error) {
+	if p.Config.Algorithm.Sequential() {
+		return trainSlices(p, tests...)
+	}
+	cfg := p.Config
+	report := &TrainReport{Prepared: p}
+
+	start := time.Now()
+	set, err := p.BuildSampleSet()
+	if err != nil {
+		return nil, nil, err
+	}
+	report.SampleTime = time.Since(start)
+
+	var train, test ml.View
+	if cfg.RandomSegmentation {
+		train, test = sampling.RandomSplitView(set.All(), 1-cfg.TrainFrac, cfg.Seed)
+	} else {
+		train, test = sampling.SplitFractionView(set.All(), cfg.TrainFrac)
+	}
+	// The held-out set is only read for evaluation, so a header-only
+	// materialisation (vectors aliasing the arena) is safe and cheap.
+	testSamples := test.Materialize()
+	if len(tests) > 0 && tests[0] != nil {
+		testSamples = tests[0]
+	}
+	trainFull := train
+	train, err = sampling.UnderSampleView(train, cfg.NegativeRatio, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ml.ValidateView(train, true); err != nil {
+		return nil, nil, fmt.Errorf("core: training set: %w", err)
+	}
+	report.TrainSamples = train.Len()
+	report.TestSamples = len(testSamples)
+	_, report.TrainPos = train.ClassCounts()
+	_, report.TestPos = ml.ClassCounts(testSamples)
+
+	width := p.Extractor.Width()
+	trainer, err := cfg.Algorithm.newTrainer(cfg.Seed, width, cfg.SeqLen, cfg.Workers, cfg.Bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	start = time.Now()
+	threshold := 0.5
+	if !cfg.FixedThreshold {
+		if t, err := calibrateThresholdView(trainer, trainFull, cfg); err == nil {
+			threshold = t
+		}
+	}
+	clf, err := ml.TrainOn(trainer, train)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.TrainTime = time.Since(start)
+
+	m := &Model{
+		Config:      cfg,
+		Classifier:  clf,
+		TrainerName: trainer.Name(),
+		Width:       width,
+		Threshold:   threshold,
+	}
+	if train.Len() > 0 {
+		m.TrainEndDay = train.MaxDay()
+	}
+
+	start = time.Now()
+	if len(testSamples) > 0 {
+		report.Eval = EvaluateSamplesAt(clf, testSamples, threshold)
+	}
+	report.EvalTime = time.Since(start)
+	return m, report, nil
+}
+
+// trainSlices is the legacy []ml.Sample training path, retained for
+// the sequential CNN_LSTM whose overlapping windows cannot share a
+// flat arena.
+func trainSlices(p *Prepared, tests ...[]ml.Sample) (*Model, *TrainReport, error) {
 	cfg := p.Config
 	report := &TrainReport{Prepared: p}
 
@@ -238,19 +344,70 @@ func calibrateThreshold(trainer ml.Trainer, trainFull []ml.Sample, cfg Config) (
 	if len(scores) == 0 {
 		return 0, fmt.Errorf("core: no usable calibration folds")
 	}
+	return pickThreshold(scores, labels), nil
+}
+
+// calibrateThresholdView is calibrateThreshold on zero-copy SampleSet
+// views: CV folds and their under-sampled training parts are row-index
+// views of the shared arena, and the pooled score/label buffers are
+// preallocated from the usable folds' validation sizes instead of
+// growing by append — each fold scores straight into its slot.
+func calibrateThresholdView(trainer ml.Trainer, trainFull ml.View, cfg Config) (float64, error) {
+	folds, err := sampling.TimeSeriesCVView(trainFull, cfg.CVFolds)
+	if err != nil {
+		return 0, err
+	}
+	type calFold struct {
+		train, val ml.View
+		off        int
+	}
+	usable := make([]calFold, 0, len(folds))
+	total := 0
+	for _, fold := range folds {
+		tr, err := sampling.UnderSampleView(fold.Train, cfg.NegativeRatio, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		if !bothClassesView(tr) || !bothClassesView(fold.Val) {
+			continue
+		}
+		usable = append(usable, calFold{train: tr, val: fold.Val, off: total})
+		total += fold.Val.Len()
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("core: no usable calibration folds")
+	}
+	scores := make([]float64, total)
+	labels := make([]int, total)
+	for _, f := range usable {
+		clf, err := ml.TrainOn(trainer, f.train)
+		if err != nil {
+			return 0, err
+		}
+		n := f.val.Len()
+		ml.ScoreView(clf, f.val, scores[f.off:f.off+n], cfg.Workers)
+		for i := 0; i < n; i++ {
+			labels[f.off+i] = f.val.Y(i)
+		}
+	}
+	return pickThreshold(scores, labels), nil
+}
+
+// pickThreshold selects the operating point from pooled calibration
+// scores by the weighted Youden index: a false alarm triggers
+// pointless data migration and service interruption (the paper's
+// motivation for PDR), so FPR is penalised more strongly than missed
+// detections are rewarded.
+func pickThreshold(scores []float64, labels []int) float64 {
 	roc := metrics.ROCFromScores(scores, labels)
 	best, bestJ := 0.5, -1.0
 	for _, pt := range roc[1:] { // skip the +Inf corner
-		// Weighted Youden index: a false alarm triggers pointless data
-		// migration and service interruption (the paper's motivation
-		// for PDR), so FPR is penalised more strongly than missed
-		// detections are rewarded.
 		if j := pt.TPR - fprPenalty*pt.FPR; j > bestJ {
 			bestJ = j
 			best = pt.Threshold
 		}
 	}
-	return best, nil
+	return best
 }
 
 // fprPenalty is the false-positive weight of the calibration criterion.
@@ -258,6 +415,11 @@ const fprPenalty = 3
 
 func bothClasses(samples []ml.Sample) bool {
 	neg, pos := ml.ClassCounts(samples)
+	return neg > 0 && pos > 0
+}
+
+func bothClassesView(v ml.View) bool {
+	neg, pos := v.ClassCounts()
 	return neg > 0 && pos > 0
 }
 

@@ -44,6 +44,7 @@ type Context struct {
 
 	prepCache   map[string]*core.Prepared
 	sampleCache map[string][]ml.Sample
+	setCache    map[string]*ml.SampleSet
 }
 
 // NewContext simulates the default experiment fleet. failureScale
@@ -69,6 +70,7 @@ func NewContextWith(cfg simfleet.Config) (*Context, error) {
 		Workers:     cfg.Workers,
 		prepCache:   make(map[string]*core.Prepared),
 		sampleCache: make(map[string][]ml.Sample),
+		setCache:    make(map[string]*ml.SampleSet),
 	}
 	for _, v := range fleet.Config.Vendors {
 		c.Registries[v.Name] = v.Firmware
@@ -130,6 +132,38 @@ func (c *Context) Split(vendor string, group features.Group) (train, test []ml.S
 		return nil, nil, nil, err
 	}
 	train, test = sampling.SplitFraction(samples, p.Config.TrainFrac)
+	return train, test, p, nil
+}
+
+// SampleSet returns (caching) the columnar sample set of a vendor/group
+// pair. The set — and its lazily built binned matrix — is shared by
+// every view-path experiment, so binning happens at most once per
+// vendor/group for the whole report run.
+func (c *Context) SampleSet(vendor string, group features.Group) (*ml.SampleSet, *core.Prepared, error) {
+	key := vendor + "/" + group.String()
+	p, err := c.Prepared(vendor, group)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, ok := c.setCache[key]; ok {
+		return s, p, nil
+	}
+	s, err := p.BuildSampleSet()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.setCache[key] = s
+	return s, p, nil
+}
+
+// SplitSet returns the chronological train/test split of a vendor/group
+// as zero-copy views of the shared sample set.
+func (c *Context) SplitSet(vendor string, group features.Group) (train, test ml.View, p *core.Prepared, err error) {
+	set, p, err := c.SampleSet(vendor, group)
+	if err != nil {
+		return ml.View{}, ml.View{}, nil, err
+	}
+	train, test = sampling.SplitFractionView(set.All(), p.Config.TrainFrac)
 	return train, test, p, nil
 }
 

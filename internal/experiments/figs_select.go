@@ -22,13 +22,16 @@ type Fig17Result struct {
 	Selected []string
 }
 
-// Fig17 runs SFS with the RF trainer on vendor I's SFWB samples.
+// Fig17 runs SFS with the RF trainer on vendor I's SFWB samples. It
+// rides the view path: every candidate subset is a column sub-view of
+// the once-binned shared arena, so no per-subset masked copies of
+// train and test are made.
 func (c *Context) Fig17() (*Fig17Result, error) {
-	train, test, p, err := c.Split(primaryVendor, features.GroupSFWB)
+	train, test, p, err := c.SplitSet(primaryVendor, features.GroupSFWB)
 	if err != nil {
 		return nil, err
 	}
-	train, err = sampling.UnderSample(train, p.Config.NegativeRatio, p.Config.Seed)
+	train, err = sampling.UnderSampleView(train, p.Config.NegativeRatio, p.Config.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +39,7 @@ func (c *Context) Fig17() (*Fig17Result, error) {
 	// already fan out across c.Workers goroutines, so each forest grows
 	// serially to avoid oversubscription.
 	trainer := &forest.Trainer{Trees: 30, MaxDepth: 10, Seed: p.Config.Seed, Parallelism: 1}
-	res, err := search.ForwardSelectWorkers(trainer, train, test, p.Extractor.Names(), 10, 1e-4, c.Workers)
+	res, err := search.ForwardSelectSet(trainer, train, test, p.Extractor.Names(), 10, 1e-4, c.Workers)
 	if err != nil {
 		return nil, err
 	}

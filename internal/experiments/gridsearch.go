@@ -24,13 +24,15 @@ type GridSearchResult struct {
 }
 
 // GridSearch sweeps the RF and GBDT grids on vendor I's training
-// window.
+// window. Both sweeps run on zero-copy views of the shared sample set:
+// the training window is binned once and every (combination, fold)
+// pair trains on row-masked views of that one binned matrix.
 func (c *Context) GridSearch() (*GridSearchResult, error) {
-	train, _, p, err := c.Split(primaryVendor, features.GroupSFWB)
+	train, _, p, err := c.SplitSet(primaryVendor, features.GroupSFWB)
 	if err != nil {
 		return nil, err
 	}
-	train, err = sampling.UnderSample(train, p.Config.NegativeRatio, p.Config.Seed)
+	train, err = sampling.UnderSampleView(train, p.Config.NegativeRatio, p.Config.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +50,7 @@ func (c *Context) GridSearch() (*GridSearchResult, error) {
 		"max_depth":    {6, 12, 18},
 		"max_features": {-1, 12}, // -1 = √width
 	}
-	rfCandidates, rfBest, err := search.GridSearchWorkers(rfFactory, rfGrid, train, p.Config.CVFolds, c.Workers)
+	rfCandidates, rfBest, err := search.GridSearchSet(rfFactory, rfGrid, train, p.Config.CVFolds, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: RF grid: %w", err)
 	}
@@ -65,7 +67,7 @@ func (c *Context) GridSearch() (*GridSearchResult, error) {
 		"learning_rate": {0.05, 0.2},
 		"max_depth":     {3, 5},
 	}
-	gbdtCandidates, gbdtBest, err := search.GridSearchWorkers(gbdtFactory, gbdtGrid, train, p.Config.CVFolds, c.Workers)
+	gbdtCandidates, gbdtBest, err := search.GridSearchSet(gbdtFactory, gbdtGrid, train, p.Config.CVFolds, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: GBDT grid: %w", err)
 	}

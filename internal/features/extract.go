@@ -17,6 +17,13 @@ type Extractor struct {
 	group    Group
 	encoders map[string]*firmware.Encoder
 	names    []string
+	// wevents caches the selected Windows-event IDs in table order:
+	// winevent.Selected copies the catalogue on every call, which at one
+	// call per record dominated batch extraction's allocations.
+	wevents []winevent.ID
+	// primedFor remembers the last dataset primed, so repeated builds
+	// over the same prepared dataset skip the full firmware re-scan.
+	primedFor *dataset.Dataset
 }
 
 // NewExtractor builds an extractor for group. registries supplies the
@@ -35,6 +42,11 @@ func NewExtractor(group Group, registries map[string]*firmware.Registry) (*Extra
 		e.encoders[vendor] = firmware.NewEncoder(reg)
 	}
 	e.names = buildNames(group)
+	if group.WEvents {
+		for _, info := range winevent.Selected() {
+			e.wevents = append(e.wevents, info.ID)
+		}
+	}
 	return e, nil
 }
 
@@ -93,32 +105,45 @@ func (e *Extractor) prime(data *dataset.Dataset) {
 	if !e.group.Firmware {
 		return
 	}
+	if e.primedFor == data {
+		// Priming is idempotent; skipping the re-scan is safe as long as
+		// the dataset is not mutated between builds (Prepare freezes it).
+		return
+	}
 	data.Each(func(s *dataset.DriveSeries) {
 		for i := range s.Records {
 			e.encoder(s.Records[i].Vendor).Encode(s.Records[i].Firmware)
 		}
 	})
+	e.primedFor = data
 }
 
 // Extract builds the feature vector of r. The W and B counters are used
 // as stored — run dataset.Cumulate first to follow the paper's
 // accumulated-count preprocessing.
 func (e *Extractor) Extract(r *dataset.Record) []float64 {
-	x := make([]float64, 0, e.Width())
+	return e.ExtractInto(r, make([]float64, 0, e.Width()))
+}
+
+// ExtractInto appends r's feature vector to dst and returns the
+// extended slice — the allocation-free primitive behind the columnar
+// sample arena: BuildSampleSet extracts whole drives into one chunk
+// instead of one heap vector per record.
+func (e *Extractor) ExtractInto(r *dataset.Record, dst []float64) []float64 {
 	if e.group.SMART {
-		x = append(x, r.Smart[:]...)
+		dst = append(dst, r.Smart[:]...)
 	}
 	if e.group.Firmware {
-		x = append(x, e.encoder(r.Vendor).Encode(r.Firmware))
+		dst = append(dst, e.encoder(r.Vendor).Encode(r.Firmware))
 	}
 	if e.group.WEvents {
-		for _, info := range winevent.Selected() {
-			x = append(x, r.WCounts.Get(info.ID))
+		for _, id := range e.wevents {
+			dst = append(dst, r.WCounts.Get(id))
 		}
 	}
 	if e.group.BSOD {
-		x = append(x, r.BCounts...)
-		x = append(x, r.BCounts.Total())
+		dst = append(dst, r.BCounts...)
+		dst = append(dst, r.BCounts.Total())
 	}
-	return x
+	return dst
 }

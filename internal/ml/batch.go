@@ -52,3 +52,28 @@ func BatchScores(clf Classifier, samples []Sample, workers int) []float64 {
 	ScoreBatch(clf, xs, out, workers)
 	return out
 }
+
+// ScoreView scores a view's rows into out (len(out) == v.Len()) through
+// ScoreBatch, reading full-width vectors straight out of the arena —
+// only the row-header slice is allocated. Views with a column subset
+// are rejected: models trained through the view path index features
+// globally, so masked scoring is never needed on this path.
+func ScoreView(clf Classifier, v View, out []float64, workers int) {
+	if v.Cols() != nil {
+		panic("ml: ScoreView on a column-subset view")
+	}
+	if len(out) != v.Len() {
+		panic("ml: ScoreView rows and outputs differ in length")
+	}
+	if v.Len() == 0 {
+		return
+	}
+	ScoreBatch(clf, v.Xs(), out, workers)
+}
+
+// BatchScoresView is ScoreView with a freshly allocated output slice.
+func BatchScoresView(clf Classifier, v View, workers int) []float64 {
+	out := make([]float64, v.Len())
+	ScoreView(clf, v, out, workers)
+	return out
+}

@@ -3,6 +3,8 @@ package matrix
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/ml"
@@ -186,5 +188,97 @@ func TestFromSamples(t *testing.T) {
 	}
 	if m.NumBins(1) != 1 {
 		t.Fatalf("constant column bins = %d", m.NumBins(1))
+	}
+}
+
+// TestDenseCensusMatchesSort pins the dense-histogram fast path to the
+// sort-based general path: integer columns (narrow and budget-
+// exceeding cardinality alike) must produce identical bins and cuts,
+// and fractional or wide-range columns must fall back.
+func TestDenseCensusMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	cases := map[string][]float64{
+		"narrow":   make([]float64, 5000),
+		"manyVals": make([]float64, 5000),
+		"negative": make([]float64, 3000),
+	}
+	for i := range cases["narrow"] {
+		cases["narrow"][i] = float64(r.Intn(12))
+	}
+	for i := range cases["manyVals"] {
+		cases["manyVals"][i] = float64(r.Intn(2000)) // > 256 distinct: quantile regime
+	}
+	for i := range cases["negative"] {
+		cases["negative"][i] = float64(r.Intn(40) - 20)
+	}
+	cases["halves"] = make([]float64, 4000)
+	for i := range cases["halves"] {
+		cases["halves"][i] = float64(r.Intn(50)) / 2 // the cleaner's window-mean grid
+	}
+	for name, col := range cases {
+		gotBins, gotLo, gotHi, ok := binColumnDense(col, MaxBins)
+		if !ok {
+			t.Fatalf("%s: dense path refused an integer column", name)
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		var vals []float64
+		var cnts []int
+		for i := 0; i < len(sorted); {
+			j := i
+			for j < len(sorted) && sorted[j] == sorted[i] {
+				j++
+			}
+			vals = append(vals, sorted[i])
+			cnts = append(cnts, j-i)
+			i = j
+		}
+		wantLo, wantHi := cutsFrom(vals, cnts, len(col), MaxBins)
+		if !reflect.DeepEqual(gotLo, wantLo) || !reflect.DeepEqual(gotHi, wantHi) {
+			t.Fatalf("%s: dense cuts differ: lo %v vs %v, hi %v vs %v", name, gotLo, wantLo, gotHi, wantHi)
+		}
+		for i, v := range col {
+			want := uint8(sort.SearchFloat64s(wantHi, v))
+			if gotBins[i] != want {
+				t.Fatalf("%s: row %d (value %v): dense bin %d, sort bin %d", name, i, v, gotBins[i], want)
+			}
+		}
+	}
+
+	if _, _, _, ok := binColumnDense([]float64{0.3, 1, 2}, MaxBins); ok {
+		t.Fatal("off-grid fractional column took the dense path")
+	}
+	if _, _, _, ok := binColumnDense([]float64{0, 1 << 20}, MaxBins); ok {
+		t.Fatal("wide-range column took the dense path")
+	}
+}
+
+// TestRadixSortMatchesComparisonSort exercises the radix path above
+// and below the pass-skipping shortcut, including negatives and
+// duplicated values.
+func TestRadixSortMatchesComparisonSort(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cases := [][]float64{
+		make([]float64, 5000),
+		make([]float64, 5000),
+		make([]float64, 3000),
+	}
+	for i := range cases[0] {
+		cases[0][i] = r.NormFloat64() * 1e6
+	}
+	for i := range cases[1] {
+		cases[1][i] = float64(r.Intn(64)) // heavy duplication, many constant bytes
+	}
+	for i := range cases[2] {
+		cases[2][i] = r.Float64() - 0.5
+	}
+	for ci, col := range cases {
+		want := append([]float64(nil), col...)
+		sort.Float64s(want)
+		got := append([]float64(nil), col...)
+		radixSortFloats(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: radix order diverges from comparison sort", ci)
+		}
 	}
 }

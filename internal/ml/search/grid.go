@@ -100,6 +100,79 @@ func GridSearchWorkers(factory Factory, grid Grid, samples []ml.Sample, k, worke
 	return candidates, candidates[0], nil
 }
 
+// GridSearchSet is GridSearchWorkers on a zero-copy SampleSet view:
+// CV folds are index views of the shared arena (no sample copies), a
+// ViewTrainer candidate trains on row-masked views of the set-wide
+// binned matrix (bin-once — quantile binning happens once for the
+// whole sweep instead of once per combination × fold), and validation
+// rows are scored straight out of the arena. Candidate enumeration,
+// fold arithmetic, and AUC aggregation are identical to the slice
+// implementation, so both return the same ranking at any worker count.
+func GridSearchSet(factory Factory, grid Grid, v ml.View, k, workers int) ([]Candidate, Candidate, error) {
+	combos := enumerate(grid)
+	if len(combos) == 0 {
+		return nil, Candidate{}, fmt.Errorf("search: empty grid")
+	}
+	folds, err := sampling.TimeSeriesCVView(v, k)
+	if err != nil {
+		return nil, Candidate{}, err
+	}
+	usable := make([]int, 0, len(folds))
+	valXs := make([][][]float64, len(folds))
+	valYs := make([][]int, len(folds))
+	for fi := range folds {
+		if bothClassesView(folds[fi].Train) && bothClassesView(folds[fi].Val) {
+			usable = append(usable, fi)
+			// Materialise each usable fold's validation rows once —
+			// header-only — and share them across every combination.
+			val := folds[fi].Val
+			valXs[fi] = val.Xs()
+			ys := make([]int, val.Len())
+			for i := range ys {
+				ys[i] = val.Y(i)
+			}
+			valYs[fi] = ys
+		}
+	}
+
+	type pair struct{ combo, fold int }
+	pairs := make([]pair, 0, len(combos)*len(usable))
+	for ci := range combos {
+		for _, fi := range usable {
+			pairs = append(pairs, pair{ci, fi})
+		}
+	}
+	aucs, err := parallel.Map(len(pairs), workers, func(i int) (float64, error) {
+		p := pairs[i]
+		trainer := factory(combos[p.combo])
+		clf, err := ml.TrainOn(trainer, folds[p.fold].Train)
+		if err != nil {
+			return 0, fmt.Errorf("search: %s on %v: %w", trainer.Name(), combos[p.combo], err)
+		}
+		scores := make([]float64, len(valXs[p.fold]))
+		ml.ScoreBatch(clf, valXs[p.fold], scores, 1)
+		return metrics.AUC(metrics.ROCFromScores(scores, valYs[p.fold])), nil
+	})
+	if err != nil {
+		return nil, Candidate{}, err
+	}
+
+	candidates := make([]Candidate, len(combos))
+	for ci, params := range combos {
+		var sum float64
+		for pi := ci * len(usable); pi < (ci+1)*len(usable); pi++ {
+			sum += aucs[pi]
+		}
+		score := 0.0
+		if len(usable) > 0 {
+			score = sum / float64(len(usable))
+		}
+		candidates[ci] = Candidate{Params: params, Score: score}
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Score > candidates[j].Score })
+	return candidates, candidates[0], nil
+}
+
 // enumerate expands the grid into the Cartesian product of its values,
 // with deterministic ordering (keys sorted).
 func enumerate(grid Grid) []map[string]float64 {
@@ -128,5 +201,10 @@ func enumerate(grid Grid) []map[string]float64 {
 
 func bothClasses(samples []ml.Sample) bool {
 	neg, pos := ml.ClassCounts(samples)
+	return neg > 0 && pos > 0
+}
+
+func bothClassesView(v ml.View) bool {
+	neg, pos := v.ClassCounts()
 	return neg > 0 && pos > 0
 }

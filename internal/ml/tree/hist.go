@@ -32,16 +32,48 @@ import (
 // multiplicities (nil means one each); rows with weight 0 are left
 // out of growth entirely.
 func GrowClassifierBinned(m *matrix.BinnedMatrix, ys []float64, weights []int, cfg Config) *Classifier {
-	g := newHistGrower(m, ys, weights, cfg)
-	g.growRoot()
-	return &Classifier{nodes: g.nodes, width: m.Cols()}
+	return GrowClassifierBinnedView(m, ys, weights, nil, nil, cfg)
 }
 
 // GrowRegressorBinned fits a squared-error regression tree on the
 // binned matrix. The same matrix can back every boosting round: only
 // ys (the per-round gradients) and weights change.
 func GrowRegressorBinned(m *matrix.BinnedMatrix, ys []float64, weights []int, cfg Config) *Regressor {
-	g := newHistGrower(m, ys, weights, cfg)
+	return GrowRegressorBinnedView(m, ys, weights, nil, nil, cfg)
+}
+
+// GrowClassifierBinnedView is GrowClassifierBinned restricted to a
+// view of the shared matrix, the bin-once training primitive:
+//
+//   - rows, when non-nil, lists the candidate matrix rows in *growth
+//     order*. Passing the subset's rows in subset order makes every
+//     accumulated statistic — and therefore the grown tree —
+//     identical to binning the subset into its own matrix, without
+//     copying or re-binning. rows must not contain duplicates.
+//     weights then runs PARALLEL to rows (weights[i] is rows[i]'s
+//     bootstrap multiplicity; nil means one each; zero-weight rows are
+//     skipped), so growth state stays O(len(rows)) no matter how large
+//     the shared matrix is.
+//   - features, when non-nil, restricts split search to those feature
+//     columns (the SFS/SBS column sub-view). The per-split sampler
+//     draws from the subset exactly as it would from a masked matrix,
+//     and grown nodes keep global feature indexes, so the tree
+//     predicts on full-width arena rows directly.
+//
+// Nil rows selects every positive-weight row in matrix order (weights
+// then indexed by matrix row); nil features selects all columns —
+// together reproducing GrowClassifierBinned exactly.
+func GrowClassifierBinnedView(m *matrix.BinnedMatrix, ys []float64, weights []int, rows, features []int, cfg Config) *Classifier {
+	g := newHistGrower(m, ys, weights, rows, features, cfg)
+	g.growRoot()
+	return &Classifier{nodes: g.nodes, width: m.Cols()}
+}
+
+// GrowRegressorBinnedView is GrowRegressorBinned restricted to a view
+// of the shared matrix; see GrowClassifierBinnedView for the rows and
+// features contract.
+func GrowRegressorBinnedView(m *matrix.BinnedMatrix, ys []float64, weights []int, rows, features []int, cfg Config) *Regressor {
+	g := newHistGrower(m, ys, weights, rows, features, cfg)
 	g.growRoot()
 	return &Regressor{nodes: g.nodes, leafIndex: g.leafIdx}
 }
@@ -51,21 +83,32 @@ func GrowRegressorBinned(m *matrix.BinnedMatrix, ys []float64, weights []int, cf
 // node, so growth allocates little beyond the node arena itself.
 type histGrower struct {
 	m   *matrix.BinnedMatrix
-	ys  []float64
-	w   []int
 	cfg Config
-	// wy, wy2 cache w·y and w·y² per row; histogram accumulation then
-	// costs one add per statistic per row.
+	// Compact per-active-row state, one slot per positive-weight row in
+	// growth order: row is the global matrix row, wc the bootstrap
+	// weight, yv the target, and wy/wy2 cache w·y and w·y² so histogram
+	// accumulation costs one add per statistic per row. Sizing these to
+	// the active rows rather than the matrix keeps per-tree cost O(view)
+	// even when the view is a sliver of a huge shared matrix.
+	row     []int
+	wc      []int
+	yv      []float64
 	wy, wy2 []float64
+	// featU is the feature universe split search draws from: the
+	// caller's column sub-view, or the identity over all columns. The
+	// sampler permutes *positions* in this universe, so a sub-view
+	// consumes the rng exactly as a masked matrix of the same width.
+	featU   []int
 	sampler *featureSampler
 
 	nodes     []node
 	leafCount int
 	leafIdx   []int
 
-	// idx is the single index arena partitioned in place (hi spills
-	// through scratch); counts/sums/sums2 are the per-feature bin
-	// histogram, sized to the matrix bin ceiling.
+	// idx is the single position arena (indexes into the compact state)
+	// partitioned in place (hi spills through scratch); counts/sums/
+	// sums2 are the per-feature bin histogram, sized to the matrix bin
+	// ceiling.
 	idx     []int
 	scratch []int
 	counts  []int
@@ -73,43 +116,79 @@ type histGrower struct {
 	sums2   []float64
 }
 
-func newHistGrower(m *matrix.BinnedMatrix, ys []float64, weights []int, cfg Config) *histGrower {
+func newHistGrower(m *matrix.BinnedMatrix, ys []float64, weights []int, rows, features []int, cfg Config) *histGrower {
 	if len(ys) != m.Rows() {
 		panic(fmt.Sprintf("tree: %d targets for %d matrix rows", len(ys), m.Rows()))
 	}
-	if weights != nil && len(weights) != m.Rows() {
-		panic(fmt.Sprintf("tree: %d weights for %d matrix rows", len(weights), m.Rows()))
+	if weights != nil {
+		if rows == nil && len(weights) != m.Rows() {
+			panic(fmt.Sprintf("tree: %d weights for %d matrix rows", len(weights), m.Rows()))
+		}
+		if rows != nil && len(weights) != len(rows) {
+			panic(fmt.Sprintf("tree: %d weights for %d view rows", len(weights), len(rows)))
+		}
 	}
 	cfg = cfg.withDefaults()
+	if features == nil {
+		features = orderedIndex(m.Cols())
+	}
 	g := &histGrower{
 		m:       m,
-		ys:      ys,
 		cfg:     cfg,
-		wy:      make([]float64, m.Rows()),
-		wy2:     make([]float64, m.Rows()),
-		sampler: newFeatureSampler(rand.New(rand.NewSource(cfg.Seed+17)), m.Cols()),
-		scratch: make([]int, 0, m.Rows()),
+		featU:   features,
+		sampler: newFeatureSampler(rand.New(rand.NewSource(cfg.Seed+17)), len(features)),
 		counts:  make([]int, matrix.MaxBins),
 		sums:    make([]float64, matrix.MaxBins),
 		sums2:   make([]float64, matrix.MaxBins),
 	}
-	if weights == nil {
-		g.w = make([]int, m.Rows())
-		for i := range g.w {
-			g.w[i] = 1
+	// Compact the positive-weight rows, in growth order. weights is
+	// indexed by matrix row when rows is nil and parallel to rows
+	// otherwise (see GrowClassifierBinnedView).
+	hint := m.Rows()
+	if rows != nil {
+		hint = len(rows)
+	}
+	g.row = make([]int, 0, hint)
+	g.wc = make([]int, 0, hint)
+	if rows == nil {
+		for i := 0; i < m.Rows(); i++ {
+			w := 1
+			if weights != nil {
+				w = weights[i]
+			}
+			if w > 0 {
+				g.row = append(g.row, i)
+				g.wc = append(g.wc, w)
+			}
 		}
 	} else {
-		g.w = weights
-	}
-	g.idx = make([]int, 0, m.Rows())
-	for i, w := range g.w {
-		if w > 0 {
-			g.idx = append(g.idx, i)
-			g.wy[i] = float64(w) * ys[i]
-			g.wy2[i] = float64(w) * ys[i] * ys[i]
+		for j, i := range rows {
+			w := 1
+			if weights != nil {
+				w = weights[j]
+			}
+			if w > 0 {
+				g.row = append(g.row, i)
+				g.wc = append(g.wc, w)
+			}
 		}
 	}
-	g.scratch = g.scratch[:len(g.idx)]
+	n := len(g.row)
+	g.yv = make([]float64, n)
+	g.wy = make([]float64, n)
+	g.wy2 = make([]float64, n)
+	for p, i := range g.row {
+		w := float64(g.wc[p])
+		y := ys[i]
+		g.yv[p] = y
+		g.wy[p] = w * y
+		g.wy2[p] = w * y * y
+	}
+	g.idx = make([]int, n)
+	for p := range g.idx {
+		g.idx[p] = p
+	}
+	g.scratch = make([]int, n)
 	return g
 }
 
@@ -154,15 +233,15 @@ func (g *histGrower) grow(lo, hi, depth int) int {
 // arithmetic-compatible with the exact engine's meanSSE at unit
 // weights), and the weighted Σy / Σy² the split scan subtracts from.
 func (g *histGrower) nodeStats(rows []int) (wn int, mean, sse, wsum, wsum2 float64) {
-	for _, i := range rows {
-		wn += g.w[i]
-		wsum += g.wy[i]
-		wsum2 += g.wy2[i]
+	for _, p := range rows {
+		wn += g.wc[p]
+		wsum += g.wy[p]
+		wsum2 += g.wy2[p]
 	}
 	mean = wsum / float64(wn)
-	for _, i := range rows {
-		d := g.ys[i] - mean
-		sse += float64(g.w[i]) * d * d
+	for _, p := range rows {
+		d := g.yv[p] - mean
+		sse += float64(g.wc[p]) * d * d
 	}
 	return wn, mean, sse, wsum, wsum2
 }
@@ -174,13 +253,13 @@ func (g *histGrower) partition(lo, hi, feat, splitBin int) int {
 	col := g.m.Column(feat)
 	bound := uint8(splitBin)
 	k, t := lo, 0
-	for p := lo; p < hi; p++ {
-		i := g.idx[p]
-		if col[i] <= bound {
-			g.idx[k] = i
+	for q := lo; q < hi; q++ {
+		p := g.idx[q]
+		if col[g.row[p]] <= bound {
+			g.idx[k] = p
 			k++
 		} else {
-			g.scratch[t] = i
+			g.scratch[t] = p
 			t++
 		}
 	}
@@ -202,12 +281,13 @@ func (g *histGrower) sealLeaf(i int) {
 // bins' build-time value bounds, and splitBin is the last left-side
 // bin (the partition key).
 func (g *histGrower) bestSplit(rows []int, wn int, parentSSE, wsum, wsum2 float64) (feat, splitBin int, thr, bestGainOut float64, ok bool) {
-	k := g.cfg.featuresPerSplit(g.m.Cols())
+	k := g.cfg.featuresPerSplit(len(g.featU))
 	feats := g.sampler.sample(k)
 	minLeaf := g.cfg.MinSamplesLeaf
 
 	bestGain := 1e-10
-	for _, f := range feats {
+	for _, fp := range feats {
+		f := g.featU[fp]
 		nb := g.m.NumBins(f)
 		if nb < 2 {
 			continue // constant feature: nothing to split
@@ -221,11 +301,11 @@ func (g *histGrower) bestSplit(rows []int, wn int, parentSSE, wsum, wsum2 float6
 			sums[b] = 0
 			sums2[b] = 0
 		}
-		for _, i := range rows {
-			b := col[i]
-			counts[b] += g.w[i]
-			sums[b] += g.wy[i]
-			sums2[b] += g.wy2[i]
+		for _, p := range rows {
+			b := col[g.row[p]]
+			counts[b] += g.wc[p]
+			sums[b] += g.wy[p]
+			sums2[b] += g.wy2[p]
 		}
 
 		nL := 0
