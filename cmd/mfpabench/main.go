@@ -75,6 +75,8 @@ func main() {
 
 		searchOut = flag.String("search-out", "BENCH_search.json", "search report path (empty disables the SampleSet/view benchmarks)")
 
+		pipelineOut = flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline report path (empty disables the frame data-plane benchmarks)")
+
 		// Pre-refactor BenchmarkForestTrain numbers, measured at the
 		// commit before this engine landed (see Makefile bench target);
 		// when given, the report records the old-vs-new speedup too.
@@ -186,6 +188,10 @@ func main() {
 
 	if *searchOut != "" {
 		runSearchBench(*searchOut, prepared)
+	}
+
+	if *pipelineOut != "" {
+		runPipelineBench(*pipelineOut, *scale)
 	}
 }
 

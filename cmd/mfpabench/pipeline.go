@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/simfleet"
+)
+
+// PipelineSpeedup compares the columnar frame data plane against the
+// record-based path it replaced.
+type PipelineSpeedup struct {
+	Record     Result  `json:"record"`
+	Frame      Result  `json:"frame"`
+	TimeRatio  float64 `json:"time_ratio"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// PipelineReport is the BENCH_pipeline.json schema.
+type PipelineReport struct {
+	GoVersion   string                     `json:"go_version"`
+	GoMaxProcs  int                        `json:"go_max_procs"`
+	GeneratedAt string                     `json:"generated_at"`
+	Dataset     map[string]int             `json:"dataset"`
+	Benchmarks  []Result                   `json:"benchmarks"`
+	Speedups    map[string]PipelineSpeedup `json:"speedups"`
+}
+
+func pipelineRatio(record, frame Result) PipelineSpeedup {
+	s := PipelineSpeedup{Record: record, Frame: frame}
+	if frame.NsPerOp > 0 {
+		s.TimeRatio = record.NsPerOp / frame.NsPerOp
+	}
+	if frame.AllocsPerOp > 0 {
+		s.AllocRatio = float64(record.AllocsPerOp) / float64(frame.AllocsPerOp)
+	}
+	return s
+}
+
+// runPipelineBench measures the telemetry data plane stage by stage —
+// fleet simulation, the fused clean→cumulate→extract preprocessing, and
+// the whole simulate→SampleSet path — on the record representation
+// (one struct plus two count vectors per drive-day) versus the columnar
+// drive-day arena. Both paths produce bit-identical sample sets (the
+// equivalence tests in internal/dataset, internal/features, and
+// internal/core pin this), so every ratio is a pure representation win.
+func runPipelineBench(path string, scale float64) {
+	fleetCfg := simfleet.DefaultConfig()
+	fleetCfg.Seed = 1
+	fleetCfg.FailureScale = scale
+	coreCfg := core.DefaultConfig("I")
+	// Prepare applies this default internally; the standalone
+	// clean+cumulate comparison below needs it spelled out.
+	gapPolicy := dataset.DefaultGapPolicy()
+
+	fmt.Println("pipeline benchmarks: columnar frame data plane vs record path")
+
+	// gcBench collects before each measurement so one benchmark's heap
+	// (warm fleets run to hundreds of MB) does not tax its neighbours'
+	// GC cycles.
+	gcBench := func(name string, fn func(b *testing.B)) Result {
+		runtime.GC()
+		return benchFn(name, fn)
+	}
+
+	// Stage 1 — simulation: per-record structs and count vectors versus
+	// direct emission into one pre-sized arena.
+	simRecord := gcBench("Simulate/record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := simfleet.Simulate(fleetCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	simFrame := gcBench("Simulate/frame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := simfleet.SimulateFrame(fleetCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Stage 2 — preprocessing on warm inputs, record representation
+	// first. The record path clones the fleet per stage; the fused pass
+	// traverses each drive once into a counted output arena. Warm
+	// inputs are dropped as soon as their benchmarks finish so each
+	// stage runs against a comparable live heap.
+	recFleet, err := simfleet.Simulate(fleetCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	datasetInfo := map[string]int{
+		"drives":  recFleet.Data.Drives(),
+		"records": recFleet.Data.Len(),
+		"days":    fleetCfg.Days,
+	}
+	rawFrame, err := dataset.FrameFromDataset(recFleet.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanRecord := gcBench("CleanCumulate/record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, _, err := dataset.CleanDiscontinuityWorkers(recFleet.Data, gapPolicy, coreCfg.Workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dataset.Cumulate(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cleanFrame := gcBench("CleanCumulate/frame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dataset.PreparePipeline(rawFrame, dataset.PipelineOptions{
+				Policy: gapPolicy, Workers: coreCfg.Workers,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rawFrame = nil
+	prepRecord := gcBench("PrepareExtract/record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := core.Prepare(recFleet.Data, recFleet.Tickets, coreCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.BuildSampleSet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	recFleet = nil
+	frameFleet, err := simfleet.SimulateFrame(fleetCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prepFrame := gcBench("PrepareExtract/frame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := core.PrepareFrame(frameFleet.Frame, frameFleet.Tickets, coreCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.BuildSampleSet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	frameFleet = nil
+
+	// End to end — simulate→clean→cumulate→label→SampleSet, the full
+	// telemetry data plane in front of every training run, with no warm
+	// state retained.
+	e2eRecord := gcBench("SimulateToSampleSet/record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fleet, err := simfleet.Simulate(fleetCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.Prepare(fleet.Data, fleet.Tickets, coreCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.BuildSampleSet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e2eFrame := gcBench("SimulateToSampleSet/frame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fleet, err := simfleet.SimulateFrame(fleetCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.PrepareFrame(fleet.Frame, fleet.Tickets, coreCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.BuildSampleSet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	report := PipelineReport{
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Dataset:     datasetInfo,
+		Benchmarks: []Result{
+			simRecord, simFrame, cleanRecord, cleanFrame,
+			prepRecord, prepFrame, e2eRecord, e2eFrame,
+		},
+		Speedups: map[string]PipelineSpeedup{
+			"simulate":        pipelineRatio(simRecord, simFrame),
+			"clean_cumulate":  pipelineRatio(cleanRecord, cleanFrame),
+			"prepare_extract": pipelineRatio(prepRecord, prepFrame),
+			"end_to_end":      pipelineRatio(e2eRecord, e2eFrame),
+		},
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, key := range []string{"simulate", "clean_cumulate", "prepare_extract", "end_to_end"} {
+		s := report.Speedups[key]
+		fmt.Printf("%-30s %6.2fx faster, %6.2fx fewer allocations\n", key, s.TimeRatio, s.AllocRatio)
+	}
+	fmt.Printf("written to %s\n", path)
+}

@@ -49,15 +49,17 @@ func main() {
 		cfg.Days = *days
 	}
 
-	res, err := simfleet.Simulate(cfg)
+	// The frame path writes telemetry straight from the simulation
+	// arena; the CSV bytes are identical to the record path's.
+	res, err := simfleet.SimulateFrame(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := writeTelemetry(*out, res.Data); err != nil {
+	if err := writeTelemetry(*out, res.Frame); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s: %d drives, %d records, %d faulty\n",
-		*out, res.Data.Drives(), res.Data.Len(), res.FaultyCount())
+		*out, res.Frame.Drives(), res.Frame.Len(), res.FaultyCount())
 
 	if *ticketsPath != "" {
 		if err := writeTickets(*ticketsPath, res.Tickets); err != nil {
@@ -73,13 +75,13 @@ func main() {
 	}
 }
 
-func writeTelemetry(path string, d *dataset.Dataset) error {
+func writeTelemetry(path string, fr *dataset.Frame) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := dataset.WriteCSV(f, d); err != nil {
+	if err := dataset.WriteCSVFrame(f, fr); err != nil {
 		return err
 	}
 	return f.Close()
@@ -97,7 +99,7 @@ func writeTickets(path string, store *ticket.Store) error {
 	return f.Close()
 }
 
-func writeTruth(path string, res *simfleet.Result) error {
+func writeTruth(path string, res *simfleet.FrameResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

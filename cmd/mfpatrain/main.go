@@ -43,6 +43,7 @@ func main() {
 		savePath    = flag.String("save", "", "write the trained model envelope to this path (optional)")
 		workers     = flag.Int("workers", 0, "worker goroutines for simulation and pipeline stages (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		bins        = flag.Int("bins", 0, "histogram training engine bin budget for RF/GBDT (0 = 256, max 256, negative = exact sort-based splitter)")
+		recordPipe  = flag.Bool("record-pipeline", false, "use the legacy record-based pipeline instead of the columnar frame path (results are identical)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after training to this path")
 	)
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	var (
-		data  *dataset.Dataset
+		frame *dataset.Frame
 		store *ticket.Store
 	)
 	cfg := core.DefaultConfig(*vendor)
@@ -88,7 +89,7 @@ func main() {
 			log.Fatal("-tickets is required with -data")
 		}
 		var err error
-		data, err = readTelemetry(*dataPath)
+		frame, err = readTelemetry(*dataPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,20 +102,31 @@ func main() {
 		fleetCfg.Seed = *seed
 		fleetCfg.FailureScale = *scale
 		fleetCfg.Workers = *workers
-		fleet, err := simfleet.Simulate(fleetCfg)
+		fleet, err := simfleet.SimulateFrame(fleetCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, store = fleet.Data, fleet.Tickets
+		frame, store = fleet.Frame, fleet.Tickets
 		cfg.Registries = make(map[string]*firmware.Registry)
 		for _, v := range fleet.Config.Vendors {
 			cfg.Registries[v.Name] = v.Firmware
 		}
 		fmt.Printf("simulated fleet: %d drives, %d records, %d faulty\n",
-			data.Drives(), data.Len(), fleet.FaultyCount())
+			frame.Drives(), frame.Len(), fleet.FaultyCount())
 	}
 
-	model, report, err := core.TrainOnFleet(data, store, cfg)
+	var (
+		model  *core.Model
+		report *core.TrainReport
+		err    error
+	)
+	if *recordPipe {
+		// Legacy path: materialise records and run the original
+		// per-stage pipeline. Bit-identical results, more allocation.
+		model, report, err = core.TrainOnFleet(frame.ToDataset(), store, cfg)
+	} else {
+		model, report, err = core.TrainOnFrame(frame, store, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,13 +183,13 @@ func orAll(v string) string {
 	return v
 }
 
-func readTelemetry(path string) (*dataset.Dataset, error) {
+func readTelemetry(path string) (*dataset.Frame, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadCSV(f)
+	return dataset.ReadCSVFrame(f)
 }
 
 func readTickets(path string) (*ticket.Store, error) {

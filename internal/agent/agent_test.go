@@ -149,7 +149,9 @@ func TestAgentCumulationMatchesPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dataset.Cumulate(d)
+	if err := dataset.Cumulate(d); err != nil {
+		t.Fatal(err)
+	}
 	cumSeries, _ := d.Series(faulty)
 
 	// Agent-side: observe raw records, compare internal accumulation by

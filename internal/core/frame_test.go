@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/simfleet"
+)
+
+// testFrame converts the shared test fleet's telemetry to a frame.
+func testFrame(t *testing.T) *dataset.Frame {
+	t.Helper()
+	f, err := dataset.FrameFromDataset(testFleet(t).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// requirePreparedEquivalent asserts a frame-path preparation matches a
+// record-path one: same stats, labels, and (bit-exactly) the same
+// cleaned/cumulated telemetry and sample set.
+func requirePreparedEquivalent(t *testing.T, want, got *Prepared) {
+	t.Helper()
+	if want.CleanStats != got.CleanStats {
+		t.Fatalf("clean stats %+v, want %+v", got.CleanStats, want.CleanStats)
+	}
+	if want.LabelStats != got.LabelStats {
+		t.Fatalf("label stats %+v, want %+v", got.LabelStats, want.LabelStats)
+	}
+	if !reflect.DeepEqual(want.Labels, got.Labels) {
+		t.Fatal("labels differ")
+	}
+	if want.RecordCount != got.RecordCount {
+		t.Fatalf("record count %d, want %d", got.RecordCount, want.RecordCount)
+	}
+	wd, gd := want.Dataset(), got.Dataset()
+	if !reflect.DeepEqual(wd.SerialNumbers(), gd.SerialNumbers()) {
+		t.Fatal("drive order differs")
+	}
+	for _, sn := range wd.SerialNumbers() {
+		ws, _ := wd.Series(sn)
+		gs, _ := gd.Series(sn)
+		if !reflect.DeepEqual(ws, gs) {
+			t.Fatalf("drive %s telemetry differs", sn)
+		}
+	}
+	wset, err := want.BuildSampleSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gset, err := got.BuildSampleSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wset.Len() != gset.Len() || wset.Width() != gset.Width() {
+		t.Fatalf("sample set %dx%d, want %dx%d", gset.Len(), gset.Width(), wset.Len(), wset.Width())
+	}
+	wx, gx := wset.Arena(), gset.Arena()
+	for i := range wx {
+		if math.Float64bits(wx[i]) != math.Float64bits(gx[i]) {
+			t.Fatalf("sample arena differs at %d: %x vs %x", i, gx[i], wx[i])
+		}
+	}
+	for i := 0; i < wset.Len(); i++ {
+		if wset.Y(i) != gset.Y(i) || wset.Day(i) != gset.Day(i) || wset.SN(i) != gset.SN(i) {
+			t.Fatalf("sample row %d metadata differs", i)
+		}
+	}
+}
+
+func TestPrepareFrameMatchesPrepare(t *testing.T) {
+	fleet := testFleet(t)
+	want, err := Prepare(fleet.Data, fleet.Tickets, DefaultConfig("I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PrepareFrame(testFrame(t), fleet.Tickets, DefaultConfig("I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frame == nil {
+		t.Fatal("frame path did not keep its frame")
+	}
+	requirePreparedEquivalent(t, want, got)
+}
+
+func TestPrepareFrameAblations(t *testing.T) {
+	fleet := testFleet(t)
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.SkipClean = true },
+		func(c *Config) { c.SkipCumulate = true },
+		func(c *Config) { c.SkipClean = true; c.SkipCumulate = true },
+		func(c *Config) { c.Workers = 3 },
+	} {
+		cfg := DefaultConfig("I")
+		mutate(&cfg)
+		want, err := Prepare(fleet.Data, fleet.Tickets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PrepareFrame(testFrame(t), fleet.Tickets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePreparedEquivalent(t, want, got)
+	}
+}
+
+func TestPrepareFrameUnknownVendor(t *testing.T) {
+	fleet := testFleet(t)
+	if _, err := PrepareFrame(testFrame(t), fleet.Tickets, DefaultConfig("XX")); err == nil {
+		t.Fatal("unknown vendor accepted")
+	}
+}
+
+// TestTrainOnFrameMatchesTrainOnFleet is the end-to-end pin: the same
+// fleet through simulate→frame→train equals the record path exactly,
+// down to the calibrated threshold and every evaluation number.
+func TestTrainOnFrameMatchesTrainOnFleet(t *testing.T) {
+	fleet := testFleet(t)
+	wantModel, wantRep, err := TrainOnFleet(fleet.Data, fleet.Tickets, DefaultConfig("I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameRes, err := simfleet.SimulateFrame(fleet.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotModel, gotRep, err := TrainOnFrame(frameRes.Frame, frameRes.Tickets, DefaultConfig("I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotModel.TrainerName != wantModel.TrainerName ||
+		gotModel.Threshold != wantModel.Threshold ||
+		gotModel.TrainEndDay != wantModel.TrainEndDay {
+		t.Fatalf("model %s/%g/%d, want %s/%g/%d",
+			gotModel.TrainerName, gotModel.Threshold, gotModel.TrainEndDay,
+			wantModel.TrainerName, wantModel.Threshold, wantModel.TrainEndDay)
+	}
+	if gotRep.TrainSamples != wantRep.TrainSamples || gotRep.TestSamples != wantRep.TestSamples {
+		t.Fatalf("splits %d/%d, want %d/%d",
+			gotRep.TrainSamples, gotRep.TestSamples, wantRep.TrainSamples, wantRep.TestSamples)
+	}
+	if gotRep.Eval != wantRep.Eval {
+		t.Fatalf("evaluation differs:\n%+v\n%+v", gotRep.Eval, wantRep.Eval)
+	}
+}

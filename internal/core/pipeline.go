@@ -18,8 +18,14 @@ import (
 // fitted extractor — everything model training consumes. Preparing once
 // and training several models on it is the normal experiment flow.
 type Prepared struct {
-	Config     Config
-	Data       *dataset.Dataset
+	Config Config
+	// Data is the record-form prepared telemetry. On the columnar
+	// PrepareFrame path it starts nil and is materialised from Frame on
+	// first use; call Dataset() instead of reading the field.
+	Data *dataset.Dataset
+	// Frame is the columnar prepared telemetry (PrepareFrame path
+	// only); nil when Prepare ran on records.
+	Frame      *dataset.Frame
 	Labels     labeling.Labels
 	Extractor  *features.Extractor
 	CleanStats dataset.CleanStats
@@ -28,6 +34,16 @@ type Prepared struct {
 	CleanTime   time.Duration
 	LabelTime   time.Duration
 	RecordCount int
+}
+
+// Dataset returns the prepared telemetry in record form, converting
+// from the columnar frame on first use (the compat adapter for sample
+// builders that still walk []Record).
+func (p *Prepared) Dataset() *dataset.Dataset {
+	if p.Data == nil && p.Frame != nil {
+		p.Data = p.Frame.ToDataset()
+	}
+	return p.Data
 }
 
 // Prepare runs MFPA's data stages: vendor filter → discontinuity
@@ -68,13 +84,69 @@ func Prepare(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Prepare
 		p.CleanStats = stats
 	}
 	if !cfg.SkipCumulate {
-		dataset.Cumulate(p.Data)
+		if err := dataset.Cumulate(p.Data); err != nil {
+			return nil, err
+		}
 	}
 	p.CleanTime = time.Since(start)
 	p.RecordCount = p.Data.Len()
 
 	start = time.Now()
 	labels, err := labeling.Identify(p.Data, tickets, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	p.Labels = labels
+	p.LabelStats = labeling.Summarise(labels)
+	p.LabelTime = time.Since(start)
+
+	ext, err := features.NewExtractor(cfg.Group, cfg.Registries)
+	if err != nil {
+		return nil, err
+	}
+	p.Extractor = ext
+	return p, nil
+}
+
+// PrepareFrame is Prepare on the columnar data plane: vendor filter as
+// a zero-copy drive-range view, then the fused clean+cumulate pass
+// (one traversal per drive, no intermediate dataset), then label
+// identification straight off the day column. The result is
+// bit-identical to Prepare on the equivalent record-form fleet; sample
+// construction dispatches to the frame extractor automatically.
+func PrepareFrame(f *dataset.Frame, tickets *ticket.Store, cfg Config) (*Prepared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	if cfg.Vendor != "" {
+		f = f.FilterVendor(cfg.Vendor)
+		if f.Drives() == 0 {
+			return nil, fmt.Errorf("core: no drives for vendor %q", cfg.Vendor)
+		}
+	}
+
+	p := &Prepared{Config: cfg}
+	start := time.Now()
+	out, stats, err := dataset.PreparePipeline(f, dataset.PipelineOptions{
+		Policy:       cfg.GapPolicy,
+		SkipClean:    cfg.SkipClean,
+		SkipCumulate: cfg.SkipCumulate,
+		Workers:      cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Frame = out
+	if !cfg.SkipClean {
+		p.CleanStats = stats
+	}
+	p.CleanTime = time.Since(start)
+	p.RecordCount = out.Len()
+
+	start = time.Now()
+	labels, err := labeling.IdentifyFrame(out, tickets, cfg.Theta)
 	if err != nil {
 		return nil, err
 	}
@@ -97,9 +169,9 @@ func (p *Prepared) BuildSamples() ([]ml.Sample, error) {
 	opts.PositiveWindowDays = p.Config.PositiveWindowDays
 	opts.Workers = p.Config.Workers
 	if p.Config.Algorithm.Sequential() {
-		return features.BuildSeqSamples(p.Data, p.Labels, p.Extractor, p.Config.SeqLen, opts)
+		return features.BuildSeqSamples(p.Dataset(), p.Labels, p.Extractor, p.Config.SeqLen, opts)
 	}
-	return features.BuildSamples(p.Data, p.Labels, p.Extractor, opts)
+	return features.BuildSamples(p.Dataset(), p.Labels, p.Extractor, opts)
 }
 
 // BuildSampleSet extracts the flat labelled samples directly into a
@@ -112,6 +184,9 @@ func (p *Prepared) BuildSampleSet() (*ml.SampleSet, error) {
 	opts := features.DefaultBuildOptions()
 	opts.PositiveWindowDays = p.Config.PositiveWindowDays
 	opts.Workers = p.Config.Workers
+	if p.Frame != nil {
+		return features.BuildSampleSetFrame(p.Frame, p.Labels, p.Extractor, opts)
+	}
 	return features.BuildSampleSet(p.Data, p.Labels, p.Extractor, opts)
 }
 
@@ -426,6 +501,17 @@ func bothClassesView(v ml.View) bool {
 // TrainOnFleet is the one-call convenience: Prepare followed by Train.
 func TrainOnFleet(data *dataset.Dataset, tickets *ticket.Store, cfg Config) (*Model, *TrainReport, error) {
 	p, err := Prepare(data, tickets, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Train(p)
+}
+
+// TrainOnFrame is TrainOnFleet on the columnar data plane: PrepareFrame
+// followed by Train, with no record-form dataset on the way to the
+// SampleSet.
+func TrainOnFrame(f *dataset.Frame, tickets *ticket.Store, cfg Config) (*Model, *TrainReport, error) {
+	p, err := PrepareFrame(f, tickets, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

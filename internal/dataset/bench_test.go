@@ -60,6 +60,8 @@ func BenchmarkCumulate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := d.Clone()
-		Cumulate(c)
+		if err := Cumulate(c); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

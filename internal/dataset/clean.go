@@ -72,6 +72,9 @@ func CleanDiscontinuityWorkers(d *Dataset, policy GapPolicy, workers int) (*Data
 		return nil, CleanStats{}, err
 	}
 	stats := CleanStats{DrivesIn: d.Drives(), RecordsIn: d.Len()}
+	// Cleaning a cumulated dataset is unusual (mean-fill of running
+	// totals) but well-defined; carry the marker through.
+	cumulated := d.cumulated
 
 	type cleaned struct {
 		dropped bool
@@ -91,6 +94,7 @@ func CleanDiscontinuityWorkers(d *Dataset, policy GapPolicy, workers int) (*Data
 	}
 
 	out := New()
+	out.cumulated = cumulated
 	for i := range outs {
 		c := &outs[i]
 		if c.dropped {
@@ -168,9 +172,12 @@ func meanRecord(a, b *Record, day int) Record {
 // Cumulate converts the daily W and B counts of every series into
 // running per-drive totals, in place. The paper uses accumulated values
 // as model input because daily counts are too sparse to show trends.
-// Cumulate is idempotent only on fresh daily data; callers must not
-// apply it twice.
-func Cumulate(d *Dataset) {
+// The dataset is marked, and a second Cumulate call errors instead of
+// silently double-applying the transform.
+func Cumulate(d *Dataset) error {
+	if d.cumulated {
+		return fmt.Errorf("dataset: Cumulate called twice: counts are already running totals")
+	}
 	d.Each(func(s *DriveSeries) {
 		for i := 1; i < len(s.Records); i++ {
 			prev, cur := &s.Records[i-1], &s.Records[i]
@@ -182,17 +189,25 @@ func Cumulate(d *Dataset) {
 			}
 		}
 	})
+	d.cumulated = true
+	return nil
 }
 
 // GapHistogram tallies, over all drives, how many consecutive-record
-// intervals have each length in days (index = gap length; index 0 and 1
-// count zero- and one-day steps). Used by the Fig. 6 experiment to show
-// the discontinuity structure of CSS telemetry.
+// intervals have each length in days (index = gap length; index 1
+// counts one-day steps). Used by the Fig. 6 experiment to show the
+// discontinuity structure of CSS telemetry. Non-positive gaps — only
+// possible on hand-built series with duplicate or unsorted days, which
+// Dataset.Append and the frame builders reject — are clamped into the
+// index-0 bucket instead of panicking on a negative index.
 func GapHistogram(d *Dataset, maxGap int) []int {
 	hist := make([]int, maxGap+1)
 	d.Each(func(s *DriveSeries) {
 		for i := 1; i < len(s.Records); i++ {
 			g := s.Records[i].Day - s.Records[i-1].Day
+			if g < 0 {
+				g = 0
+			}
 			if g > maxGap {
 				g = maxGap
 			}

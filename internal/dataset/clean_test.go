@@ -125,7 +125,9 @@ func TestCleanRejectsBadPolicy(t *testing.T) {
 
 func TestCumulate(t *testing.T) {
 	d := buildSet(t, map[string][]int{"A": {0, 1, 2}})
-	Cumulate(d)
+	if err := Cumulate(d); err != nil {
+		t.Fatal(err)
+	}
 	s, _ := d.Series("A")
 	want := []float64{1, 2, 3}
 	for i, r := range s.Records {
@@ -143,7 +145,9 @@ func TestCumulateMonotone(t *testing.T) {
 		s.Records[i].WCounts[1] = float64(i % 3)
 		s.Records[i].BCounts[0] = float64((i + 1) % 2)
 	}
-	Cumulate(d)
+	if err := Cumulate(d); err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(s.Records); i++ {
 		for j := range s.Records[i].WCounts {
 			if s.Records[i].WCounts[j] < s.Records[i-1].WCounts[j] {

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -81,6 +82,43 @@ func recordRow(r *Record) []string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// WriteCSVFrame writes the frame to w in the exact byte layout of
+// WriteCSV on the equivalent dataset, without materialising records.
+func WriteCSVFrame(w io.Writer, f *Frame) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header()); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, 0, 6+smartattr.Count+winevent.Count()+bsod.Count())
+	for di := 0; di < f.Drives(); di++ {
+		d := f.Drive(di)
+		for r := int(d.Start); r < int(d.End); r++ {
+			row = append(row[:0],
+				d.SerialNumber,
+				d.Vendor,
+				d.Model,
+				strconv.Itoa(int(f.Day(r))),
+				strconv.FormatBool(f.Interpolated(r)),
+				string(f.FirmwareAt(r)),
+			)
+			for _, v := range f.SmartRow(r) {
+				row = append(row, formatFloat(v))
+			}
+			for _, v := range f.WRow(r) {
+				row = append(row, formatFloat(v))
+			}
+			for _, v := range f.BRow(r) {
+				row = append(row, formatFloat(v))
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("dataset: write record: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // ReadCSV parses a dataset previously written by WriteCSV.
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
@@ -115,23 +153,87 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
+// ReadCSVFrame parses telemetry written by WriteCSV/WriteCSVFrame
+// straight into a columnar frame, one streamed row at a time — no
+// []Record ever materialises. Files produced by the MFPA tools are
+// grouped by drive in day order (the builder's fast path); anything
+// else falls back to Dataset ingestion plus conversion, so the result
+// is always the frame equivalent of ReadCSV.
+func ReadCSVFrame(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header())
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	want := Header()
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	b := NewFrameBuilder()
+	scratch := Record{WCounts: winevent.NewCounts(), BCounts: bsod.NewCounts()}
+	var fallback *Dataset // non-nil once row order breaks the builder
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		if err := parseRowInto(&scratch, row); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if fallback == nil {
+			err := b.AppendRow(scratch.SerialNumber, scratch.Vendor, scratch.Model,
+				scratch.Day, scratch.Firmware, &scratch.Smart,
+				scratch.WCounts, scratch.BCounts, scratch.Interpolated)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, ErrRowOrder) {
+				return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			}
+			fallback = b.Finish().ToDataset()
+		}
+		if err := fallback.Append(scratch.Clone()); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	if fallback != nil {
+		return FrameFromDataset(fallback)
+	}
+	return b.Finish(), nil
+}
+
 func parseRow(row []string) (Record, error) {
 	rec := Record{
-		SerialNumber: row[0],
-		Vendor:       row[1],
-		Model:        row[2],
-		Firmware:     firmware.Version(row[5]),
-		WCounts:      winevent.NewCounts(),
-		BCounts:      bsod.NewCounts(),
+		WCounts: winevent.NewCounts(),
+		BCounts: bsod.NewCounts(),
 	}
+	if err := parseRowInto(&rec, row); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// parseRowInto fills rec from a CSV row, reusing its count slices.
+func parseRowInto(rec *Record, row []string) error {
+	rec.SerialNumber = row[0]
+	rec.Vendor = row[1]
+	rec.Model = row[2]
+	rec.Firmware = firmware.Version(row[5])
+	rec.Interpolated = false
 	day, err := strconv.Atoi(row[3])
 	if err != nil {
-		return Record{}, fmt.Errorf("bad day %q: %w", row[3], err)
+		return fmt.Errorf("bad day %q: %w", row[3], err)
 	}
 	rec.Day = day
 	interp, err := strconv.ParseBool(row[4])
 	if err != nil {
-		return Record{}, fmt.Errorf("bad interpolated flag %q: %w", row[4], err)
+		return fmt.Errorf("bad interpolated flag %q: %w", row[4], err)
 	}
 	rec.Interpolated = interp
 
@@ -139,7 +241,7 @@ func parseRow(row []string) (Record, error) {
 	for i := 0; i < smartattr.Count; i++ {
 		v, err := strconv.ParseFloat(row[col], 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("bad SMART value %q: %w", row[col], err)
+			return fmt.Errorf("bad SMART value %q: %w", row[col], err)
 		}
 		rec.Smart[i] = v
 		col++
@@ -147,7 +249,7 @@ func parseRow(row []string) (Record, error) {
 	for i := 0; i < winevent.Count(); i++ {
 		v, err := strconv.ParseFloat(row[col], 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("bad W count %q: %w", row[col], err)
+			return fmt.Errorf("bad W count %q: %w", row[col], err)
 		}
 		rec.WCounts[i] = v
 		col++
@@ -155,10 +257,10 @@ func parseRow(row []string) (Record, error) {
 	for i := 0; i < bsod.Count(); i++ {
 		v, err := strconv.ParseFloat(row[col], 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("bad B count %q: %w", row[col], err)
+			return fmt.Errorf("bad B count %q: %w", row[col], err)
 		}
 		rec.BCounts[i] = v
 		col++
 	}
-	return rec, nil
+	return nil
 }

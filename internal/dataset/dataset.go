@@ -112,6 +112,11 @@ func (s *DriveSeries) Clone() *DriveSeries {
 type Dataset struct {
 	bySN  map[string]*DriveSeries
 	order []string // serial numbers in insertion order
+
+	// cumulated marks datasets whose W/B counts hold running totals
+	// (set by Cumulate); a second Cumulate call errors instead of
+	// silently double-applying.
+	cumulated bool
 }
 
 // New returns an empty dataset.
@@ -149,6 +154,10 @@ func (d *Dataset) Append(r Record) error {
 
 // Drives returns the number of drives in the dataset.
 func (d *Dataset) Drives() int { return len(d.bySN) }
+
+// Cumulated reports whether Cumulate has converted the W/B counts to
+// running totals.
+func (d *Dataset) Cumulated() bool { return d.cumulated }
 
 // Len returns the total number of records across all drives.
 func (d *Dataset) Len() int {
@@ -201,6 +210,7 @@ func (d *Dataset) Remove(sn string) bool {
 // keep returns true. Series are shared, not copied.
 func (d *Dataset) Filter(keep func(*DriveSeries) bool) *Dataset {
 	out := New()
+	out.cumulated = d.cumulated
 	for _, sn := range d.order {
 		s := d.bySN[sn]
 		if keep(s) {
@@ -251,6 +261,7 @@ func (d *Dataset) DayRange() (min, max int, ok bool) {
 // Clone returns a deep copy of the dataset.
 func (d *Dataset) Clone() *Dataset {
 	out := New()
+	out.cumulated = d.cumulated
 	for _, sn := range d.order {
 		out.bySN[sn] = d.bySN[sn].Clone()
 		out.order = append(out.order, sn)
@@ -264,6 +275,7 @@ func (d *Dataset) Clone() *Dataset {
 // must operate on cleaned or cloned data, which the core pipeline does.
 func (d *Dataset) Until(day int) *Dataset {
 	out := New()
+	out.cumulated = d.cumulated
 	for _, sn := range d.order {
 		s := d.bySN[sn]
 		hi := sort.Search(len(s.Records), func(i int) bool { return s.Records[i].Day > day })

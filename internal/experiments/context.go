@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/firmware"
 	"repro/internal/ml"
@@ -41,6 +42,10 @@ type Context struct {
 
 	driftFleet      *simfleet.Result
 	slowTicketFleet *simfleet.Result
+
+	// frame is the fleet telemetry in columnar form, converted lazily;
+	// Prepared runs the fused frame pipeline on it.
+	frame *dataset.Frame
 
 	prepCache   map[string]*core.Prepared
 	sampleCache map[string][]ml.Sample
@@ -99,12 +104,30 @@ func (c *Context) Prepared(vendor string, group features.Group) (*core.Prepared,
 	if p, ok := c.prepCache[key]; ok {
 		return p, nil
 	}
-	p, err := core.Prepare(c.Fleet.Data, c.Fleet.Tickets, c.PipelineConfig(vendor, group))
+	f, err := c.FleetFrame()
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.PrepareFrame(f, c.Fleet.Tickets, c.PipelineConfig(vendor, group))
 	if err != nil {
 		return nil, err
 	}
 	c.prepCache[key] = p
 	return p, nil
+}
+
+// FleetFrame returns (converting once) the fleet telemetry as a
+// columnar frame — the input of the fused preprocessing pipeline.
+func (c *Context) FleetFrame() (*dataset.Frame, error) {
+	if c.frame != nil {
+		return c.frame, nil
+	}
+	f, err := dataset.FrameFromDataset(c.Fleet.Data)
+	if err != nil {
+		return nil, err
+	}
+	c.frame = f
+	return f, nil
 }
 
 // Samples returns (caching) the flat samples of a vendor/group pair.

@@ -21,9 +21,15 @@ type Extractor struct {
 	// winevent.Selected copies the catalogue on every call, which at one
 	// call per record dominated batch extraction's allocations.
 	wevents []winevent.ID
+	// wIdx holds the selected events' positions in the full counter
+	// vector, so the frame builder gathers W features straight from a
+	// column row without ID lookups.
+	wIdx []int
 	// primedFor remembers the last dataset primed, so repeated builds
 	// over the same prepared dataset skip the full firmware re-scan.
 	primedFor *dataset.Dataset
+	// primedForFrame is primedFor for the columnar build path.
+	primedForFrame *dataset.Frame
 }
 
 // NewExtractor builds an extractor for group. registries supplies the
@@ -45,6 +51,7 @@ func NewExtractor(group Group, registries map[string]*firmware.Registry) (*Extra
 	if group.WEvents {
 		for _, info := range winevent.Selected() {
 			e.wevents = append(e.wevents, info.ID)
+			e.wIdx = append(e.wIdx, info.ID.Index())
 		}
 	}
 	return e, nil
@@ -116,6 +123,32 @@ func (e *Extractor) prime(data *dataset.Dataset) {
 		}
 	})
 	e.primedFor = data
+}
+
+// primeFrame is prime for the columnar path: it registers firmware
+// versions in the same drive-then-row order the dataset scan uses, so
+// registry-unknown versions get identical first-seen codes. Rows with
+// an unchanged interned firmware code are skipped — encoding is
+// per-version, so only code changes matter.
+func (e *Extractor) primeFrame(f *dataset.Frame) {
+	if !e.group.Firmware {
+		return
+	}
+	if e.primedForFrame == f {
+		return
+	}
+	for di := 0; di < f.Drives(); di++ {
+		d := f.Drive(di)
+		enc := e.encoder(d.Vendor)
+		last := int32(-1)
+		for r := int(d.Start); r < int(d.End); r++ {
+			if id := f.FirmwareID(r); id != last {
+				enc.Encode(f.FirmwareByID(id))
+				last = id
+			}
+		}
+	}
+	e.primedForFrame = f
 }
 
 // Extract builds the feature vector of r. The W and B counters are used

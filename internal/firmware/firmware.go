@@ -112,6 +112,11 @@ func (r *Registry) Releases() []Release {
 // Len returns the number of releases.
 func (r *Registry) Len() int { return len(r.releases) }
 
+// At returns the i'th release in sequence order. Unlike Releases it
+// does not copy the backing slice, so per-drive sampling loops can
+// iterate the catalogue without allocating.
+func (r *Registry) At(i int) Release { return r.releases[i] }
+
 // BySeq returns the release with sequence seq.
 func (r *Registry) BySeq(seq int) (Release, bool) {
 	i, ok := r.bySeq[seq]

@@ -42,6 +42,23 @@ func BenchmarkSimulateWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateFrameTinyFleet is the columnar counterpart of
+// BenchmarkSimulateTinyFleet: telemetry lands directly in one arena.
+func BenchmarkSimulateFrameTinyFleet(b *testing.B) {
+	cfg := TinyConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateFrame(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Frame.Len() == 0 {
+			b.Fatal("empty fleet")
+		}
+	}
+}
+
 func BenchmarkDriveDay(b *testing.B) {
 	cfg := TinyConfig()
 	r := driveRNG(cfg.Seed, "bench-drive")

@@ -107,6 +107,23 @@ func driftFactor(cfg *Config, day int) float64 {
 // stepDay advances the drive by one powered-on day and returns the
 // telemetry record observed at the end of that day.
 func (d *driveState) stepDay(r *rand.Rand, day int, cfg *Config) dataset.Record {
+	rec := dataset.Record{
+		SerialNumber: d.sn,
+		Vendor:       d.vendor,
+		Model:        d.model.Name,
+		Day:          day,
+		Firmware:     d.fw.Version,
+		WCounts:      winevent.NewCounts(),
+		BCounts:      bsod.NewCounts(),
+	}
+	d.stepDayInto(r, day, cfg, &rec.Smart, rec.WCounts, rec.BCounts)
+	return rec
+}
+
+// stepDayInto is stepDay writing the observation into caller-supplied
+// vectors (arena rows on the frame path) instead of a fresh record.
+// The RNG draw sequence is identical to stepDay's.
+func (d *driveState) stepDayInto(r *rand.Rand, day int, cfg *Config, smart *smartattr.Values, w winevent.Counts, b bsod.Counts) {
 	hours := d.usage.hoursMean * (0.6 + 0.8*r.Float64())
 	// The failure ramp drives the system-level W/B channels; the SMART
 	// ramp additionally covers scare episodes on severe-noise drives.
@@ -159,19 +176,9 @@ func (d *driveState) stepDay(r *rand.Rand, day int, cfg *Config) dataset.Record 
 	d.accumErrLogExtra(r, sRamp, day)
 	d.errLog = d.mediaErr*2 + d.extraErrLog
 
-	rec := dataset.Record{
-		SerialNumber: d.sn,
-		Vendor:       d.vendor,
-		Model:        d.model.Name,
-		Day:          day,
-		Firmware:     d.fw.Version,
-		WCounts:      winevent.NewCounts(),
-		BCounts:      bsod.NewCounts(),
-	}
-	d.fillSmart(&rec, r, hours)
-	d.emitW(rec.WCounts, r, ramp, day, cfg)
-	d.emitB(rec.BCounts, r, ramp, day)
-	return rec
+	d.fillSmart(smart, r, hours)
+	d.emitW(w, r, ramp, day, cfg)
+	d.emitB(b, r, ramp, day)
 }
 
 // accumErrLogExtra grows the non-media component of the error log:
@@ -179,7 +186,7 @@ func (d *driveState) stepDay(r *rand.Rand, day int, cfg *Config) dataset.Record 
 // errors; bursts log transient resets; healthy drives log the odd
 // protocol hiccup.
 func (d *driveState) accumErrLogExtra(r *rand.Rand, ramp float64, day int) {
-	rate := 0.01 + 1.5*ramp*ramp
+	rate := errLogBaseRate + 1.5*ramp*ramp
 	if d.kind == kindSmartNoise {
 		// The noise cohort's protocol errors scale with its media noise,
 		// keeping its error log as busy as a mildly degrading drive's.
@@ -188,12 +195,17 @@ func (d *driveState) accumErrLogExtra(r *rand.Rand, ramp float64, day int) {
 	if d.inBurst(day) {
 		rate += 1.5
 	}
-	d.extraErrLog += float64(poisson(r, rate))
+	var n int
+	if rate == errLogBaseRate {
+		n = poissonSmall(r, expNegErrLogBase)
+	} else {
+		n = poisson(r, rate)
+	}
+	d.extraErrLog += float64(n)
 }
 
 // fillSmart writes the drive's SMART vector for this observation.
-func (d *driveState) fillSmart(rec *dataset.Record, r *rand.Rand, hours float64) {
-	s := &rec.Smart
+func (d *driveState) fillSmart(s *smartattr.Values, r *rand.Rand, hours float64) {
 	s.Set(smartattr.CriticalWarning, d.critWarn)
 	// Composite temperature in Kelvin: idle ~310K, plus load and noise.
 	temp := 308 + hours*0.4 + 4*r.NormFloat64()
@@ -217,13 +229,48 @@ func (d *driveState) fillSmart(rec *dataset.Record, r *rand.Rand, hours float64)
 	s.Set(smartattr.Capacity, d.model.CapacityGB)
 }
 
+// wCatalogue caches the Windows event catalogue: All() returns a fresh
+// copy, which would otherwise be one allocation per simulated drive-day.
+var wCatalogue = winevent.All()
+
+// errLogBaseRate is the healthy background rate of non-media error-log
+// entries (protocol hiccups) per powered day.
+const errLogBaseRate = 0.01
+
+// Steady-state exponentials for poissonSmall: most drive-days emit at
+// the unmodified background rates, so exp(-rate) is computed once here
+// instead of once per draw. Values are identical to what poisson would
+// compute, keeping every drawn stream bit-exact.
+var (
+	expNegBaseW = func() []float64 {
+		out := make([]float64, len(baseWRates))
+		for i, rate := range baseWRates {
+			out[i] = math.Exp(-rate)
+		}
+		return out
+	}()
+	expNegBaseB      = math.Exp(-baseBRate)
+	expNegErrLogBase = math.Exp(-errLogBaseRate)
+)
+
+// driftWIdx maps catalogue position to the drift flag so the emission
+// loop indexes a slice instead of hashing event IDs per drive-day.
+var driftWIdx = func() []bool {
+	out := make([]bool, len(wCatalogue))
+	for i, info := range wCatalogue {
+		out[i] = driftWEvents[info.ID]
+	}
+	return out
+}()
+
 // emitW draws the day's Windows event counts.
 func (d *driveState) emitW(counts winevent.Counts, r *rand.Rand, ramp float64, day int, cfg *Config) {
 	drift := driftFactor(cfg, day)
 	epRamp, epScale := d.wbEpisodeRamp(day)
-	for i, info := range winevent.All() {
+	burst := d.inBurst(day)
+	for i := range wCatalogue {
 		rate := baseWRates[i]
-		if driftWEvents[info.ID] {
+		if driftWIdx[i] {
 			rate *= drift
 		}
 		if ramp > 0 {
@@ -232,10 +279,16 @@ func (d *driveState) emitW(counts winevent.Counts, r *rand.Rand, ramp float64, d
 		if epScale > 0 {
 			rate += peakWRates[i] * epScale * epRamp * epRamp
 		}
-		if d.inBurst(day) {
+		if burst {
 			rate += burstWRates[i]
 		}
-		if n := poisson(r, rate); n > 0 {
+		var n int
+		if rate == baseWRates[i] {
+			n = poissonSmall(r, expNegBaseW[i])
+		} else {
+			n = poisson(r, rate)
+		}
+		if n > 0 {
 			counts[i] += float64(n)
 		}
 	}
@@ -244,7 +297,7 @@ func (d *driveState) emitW(counts winevent.Counts, r *rand.Rand, ramp float64, d
 // emitB draws the day's BSOD counts.
 func (d *driveState) emitB(counts bsod.Counts, r *rand.Rand, ramp float64, day int) {
 	// Background non-storage blue screens (drivers, overclocking, RAM).
-	if n := poisson(r, baseBRate); n > 0 {
+	if n := poissonSmall(r, expNegBaseB); n > 0 {
 		for j := 0; j < n; j++ {
 			counts[nonStorageCodes[r.Intn(len(nonStorageCodes))]]++
 		}

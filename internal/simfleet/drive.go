@@ -184,10 +184,13 @@ func newDriveState(r *rand.Rand, sn string, v *VendorSpec, k kind, failDay int, 
 		maxHours: maxPowerOnHours,
 	}
 
-	// Model by population share.
-	weights := make([]float64, len(v.Models))
+	// Model by population share. The weight buffers below are sized for
+	// any realistic catalogue and stay on the stack (weightedIndex only
+	// reads them); append falls back to the heap past the cap.
+	var wbuf [8]float64
+	weights := wbuf[:0]
 	for i := range v.Models {
-		weights[i] = v.Models[i].Share
+		weights = append(weights, v.Models[i].Share)
 	}
 	d.model = v.Models[weightedIndex(r, weights)]
 
@@ -195,16 +198,17 @@ func newDriveState(r *rand.Rand, sn string, v *VendorSpec, k kind, failDay int, 
 	// ship share × hazard multiplier, which is Bayes' rule for
 	// P(firmware | failed) and reproduces Fig. 3's per-release failure
 	// rates without per-day hazard integration.
-	rels := v.Firmware.Releases()
-	fwWeights := make([]float64, len(rels))
-	for i, rel := range rels {
+	var fwbuf [8]float64
+	fwWeights := fwbuf[:0]
+	for i, n := 0, v.Firmware.Len(); i < n; i++ {
+		rel := v.Firmware.At(i)
 		if k.Faulty() {
-			fwWeights[i] = rel.ShipShare * rel.HazardMultiplier
+			fwWeights = append(fwWeights, rel.ShipShare*rel.HazardMultiplier)
 		} else {
-			fwWeights[i] = rel.ShipShare
+			fwWeights = append(fwWeights, rel.ShipShare)
 		}
 	}
-	d.fw = rels[weightedIndex(r, fwWeights)]
+	d.fw = v.Firmware.At(weightedIndex(r, fwWeights))
 
 	// Age initialisation. Faulty drives sample the power-on-hour age at
 	// death from the bathtub curve and back-date their birth so the

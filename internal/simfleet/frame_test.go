@@ -1,0 +1,84 @@
+package simfleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSimulateFrameMatchesSimulate pins the frame path's contract: the
+// arena-backed simulation is bit-identical to the record path — same
+// telemetry (via ToDataset), same truth, stats, and tickets.
+func TestSimulateFrameMatchesSimulate(t *testing.T) {
+	cfg := TinyConfig()
+	want, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateFrame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := got.Frame.ToDataset()
+	if !reflect.DeepEqual(data.SerialNumbers(), want.Data.SerialNumbers()) {
+		t.Fatal("drive insertion order differs")
+	}
+	for _, sn := range want.Data.SerialNumbers() {
+		ws, _ := want.Data.Series(sn)
+		gs, _ := data.Series(sn)
+		if !reflect.DeepEqual(gs, ws) {
+			t.Fatalf("drive %s telemetry differs", sn)
+		}
+	}
+	if !reflect.DeepEqual(got.Truth, want.Truth) {
+		t.Fatal("ground truth differs")
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatal("vendor stats differ")
+	}
+	if got.FaultyCount() != want.FaultyCount() {
+		t.Fatalf("faulty count %d, want %d", got.FaultyCount(), want.FaultyCount())
+	}
+	if !reflect.DeepEqual(got.Tickets.SerialNumbers(), want.Tickets.SerialNumbers()) {
+		t.Fatal("ticket order differs")
+	}
+	for _, sn := range want.Tickets.SerialNumbers() {
+		if !reflect.DeepEqual(got.Tickets.Lookup(sn), want.Tickets.Lookup(sn)) {
+			t.Fatalf("tickets for %s differ", sn)
+		}
+	}
+}
+
+// TestSimulateFrameWorkersIdentical asserts the direct-arena fan-out is
+// worker-count independent: specs size the arena before any worker
+// runs, so every drive writes the same rows regardless of scheduling.
+func TestSimulateFrameWorkersIdentical(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.Workers = 1
+	want, err := SimulateFrame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData := want.Frame.ToDataset()
+	for _, w := range []int{0, 2, 3, 8} {
+		cfg := TinyConfig()
+		cfg.Workers = w
+		got, err := SimulateFrame(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		gotData := got.Frame.ToDataset()
+		if !reflect.DeepEqual(gotData.SerialNumbers(), wantData.SerialNumbers()) {
+			t.Fatalf("workers=%d: drive insertion order differs", w)
+		}
+		for _, sn := range wantData.SerialNumbers() {
+			ws, _ := wantData.Series(sn)
+			gs, _ := gotData.Series(sn)
+			if !reflect.DeepEqual(gs, ws) {
+				t.Fatalf("workers=%d: drive %s telemetry differs", w, sn)
+			}
+		}
+		if !reflect.DeepEqual(got.Truth, want.Truth) {
+			t.Fatalf("workers=%d: ground truth differs", w)
+		}
+	}
+}

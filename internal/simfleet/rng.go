@@ -1,19 +1,35 @@
 package simfleet
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 )
+
+// driveRNGSeed derives a drive's RNG seed from the run seed and its
+// serial number: FNV-1a inlined (bit-identical to hash/fnv) so the hot
+// path neither allocates a hasher nor copies the string to []byte.
+func driveRNGSeed(seed int64, sn string) int64 {
+	h := uint64(14695981039346656037) // FNV-1a 64-bit offset basis
+	for i := 0; i < len(sn); i++ {
+		h ^= uint64(sn[i])
+		h *= 1099511628211 // FNV-1a 64-bit prime
+	}
+	return seed ^ int64(h)
+}
 
 // driveRNG returns a deterministic per-drive random source so that a
 // drive's trajectory does not depend on how many other drives exist or
 // the order they are generated in.
 func driveRNG(seed int64, sn string) *rand.Rand {
-	h := fnv.New64a()
-	h.Write([]byte(sn))
-	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	return rand.New(rand.NewSource(driveRNGSeed(seed, sn)))
 }
+
+// rngPool recycles per-drive RNGs for the frame simulation path:
+// (*Rand).Seed resets a pooled generator to the exact stream a fresh
+// rand.New(rand.NewSource(seed)) would produce, without the two
+// allocations per drive.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
 
 // poisson draws from a Poisson distribution with the given mean using
 // Knuth's method for small means and a normal approximation above 30,
@@ -29,12 +45,21 @@ func poisson(r *rand.Rand, mean float64) int {
 		}
 		return n
 	}
-	l := math.Exp(-mean)
+	return poissonSmall(r, math.Exp(-mean))
+}
+
+// poissonSmall is Knuth's method with exp(-mean) precomputed. Callers
+// with steady-state means (the background emission rates, drawn once
+// per drive-day across the whole fleet) cache the exponential and skip
+// the math.Exp call that dominated the simulation profile; the draw
+// sequence is identical because the cached value is the same
+// math.Exp(-mean) the direct path computes.
+func poissonSmall(r *rand.Rand, expNegMean float64) int {
 	k := 0
 	p := 1.0
 	for {
 		p *= r.Float64()
-		if p <= l {
+		if p <= expNegMean {
 			return k
 		}
 		k++

@@ -136,61 +136,7 @@ func Simulate(cfg Config) (*Result, error) {
 	// Pass 1 (serial): draw every drive's cohort assignment from the
 	// master RNG in the fixed vendor/serial order.
 	var specs []driveSpec
-	for vi := range cfg.Vendors {
-		v := &cfg.Vendors[vi]
-		nFaulty := int(math.Round(float64(v.Failures) * cfg.FailureScale))
-		if nFaulty < 1 {
-			nFaulty = 1
-		}
-		nHealthy := nFaulty * cfg.HealthyPerFaulty
-		stats := VendorStats{
-			Name:                    v.Name,
-			Population:              v.Population,
-			Failures:                nFaulty,
-			NominalFailures:         v.Failures,
-			SampledHealthy:          nHealthy,
-			FailuresByFirmwareSeq:   make(map[int]int),
-			PopulationByFirmwareSeq: make(map[int]float64),
-		}
-		for _, rel := range v.Firmware.Releases() {
-			stats.PopulationByFirmwareSeq[rel.Seq] = rel.ShipShare * float64(v.Population)
-		}
-		si := len(res.Stats)
-		res.Stats = append(res.Stats, stats)
-
-		for i := 0; i < nFaulty; i++ {
-			k := kindFaulty
-			if master.Float64() < cfg.SuddenShare {
-				k = kindSudden
-			}
-			// Failures spread uniformly over the window, but not in
-			// the first week: a drive must have some history to be
-			// observable at all.
-			specs = append(specs, driveSpec{
-				sn:      fmt.Sprintf("%s-F%06d", v.Name, i),
-				vendor:  vi,
-				stats:   si,
-				kind:    k,
-				failDay: 7 + master.Intn(cfg.Days-7),
-			})
-		}
-		for i := 0; i < nHealthy; i++ {
-			k := kindHealthy
-			switch u := master.Float64(); {
-			case u < cfg.SmartNoiseShare:
-				k = kindSmartNoise
-			case u < cfg.SmartNoiseShare+cfg.BurstShare:
-				k = kindBurst
-			}
-			specs = append(specs, driveSpec{
-				sn:      fmt.Sprintf("%s-H%06d", v.Name, i),
-				vendor:  vi,
-				stats:   si,
-				kind:    k,
-				failDay: -1,
-			})
-		}
-	}
+	specs, res.Stats = buildSpecs(&cfg, master)
 
 	// Pass 2 (parallel): materialise each drive from its own RNG.
 	outs, err := parallel.Map(len(specs), cfg.Workers, func(i int) (driveOutput, error) {
@@ -217,6 +163,88 @@ func Simulate(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// serialNumber mints "<vendor>-<tag>NNNNNN" with the index zero-padded
+// to six digits — the exact layout fmt.Sprintf("%s-%c%06d", ...) would
+// produce — without fmt's argument boxing, which was the single
+// largest allocation source in fleet construction.
+func serialNumber(vendor string, tag byte, i int) string {
+	if i < 0 || i >= 1000000 {
+		return fmt.Sprintf("%s-%c%06d", vendor, tag, i)
+	}
+	var arr [16]byte
+	buf := append(arr[:0], vendor...)
+	buf = append(buf, '-', tag)
+	for div := 100000; div >= 1; div /= 10 {
+		buf = append(buf, byte('0'+(i/div)%10))
+	}
+	return string(buf)
+}
+
+// buildSpecs draws every drive's cohort assignment from the master RNG
+// in the fixed vendor/serial order, along with the per-vendor stats
+// skeletons. The draw sequence is shared by Simulate and SimulateFrame,
+// so the two produce identical fleets for a configuration.
+func buildSpecs(cfg *Config, master *rand.Rand) ([]driveSpec, []VendorStats) {
+	var specs []driveSpec
+	var allStats []VendorStats
+	for vi := range cfg.Vendors {
+		v := &cfg.Vendors[vi]
+		nFaulty := int(math.Round(float64(v.Failures) * cfg.FailureScale))
+		if nFaulty < 1 {
+			nFaulty = 1
+		}
+		nHealthy := nFaulty * cfg.HealthyPerFaulty
+		stats := VendorStats{
+			Name:                    v.Name,
+			Population:              v.Population,
+			Failures:                nFaulty,
+			NominalFailures:         v.Failures,
+			SampledHealthy:          nHealthy,
+			FailuresByFirmwareSeq:   make(map[int]int),
+			PopulationByFirmwareSeq: make(map[int]float64),
+		}
+		for _, rel := range v.Firmware.Releases() {
+			stats.PopulationByFirmwareSeq[rel.Seq] = rel.ShipShare * float64(v.Population)
+		}
+		si := len(allStats)
+		allStats = append(allStats, stats)
+
+		for i := 0; i < nFaulty; i++ {
+			k := kindFaulty
+			if master.Float64() < cfg.SuddenShare {
+				k = kindSudden
+			}
+			// Failures spread uniformly over the window, but not in
+			// the first week: a drive must have some history to be
+			// observable at all.
+			specs = append(specs, driveSpec{
+				sn:      serialNumber(v.Name, 'F', i),
+				vendor:  vi,
+				stats:   si,
+				kind:    k,
+				failDay: 7 + master.Intn(cfg.Days-7),
+			})
+		}
+		for i := 0; i < nHealthy; i++ {
+			k := kindHealthy
+			switch u := master.Float64(); {
+			case u < cfg.SmartNoiseShare:
+				k = kindSmartNoise
+			case u < cfg.SmartNoiseShare+cfg.BurstShare:
+				k = kindBurst
+			}
+			specs = append(specs, driveSpec{
+				sn:      serialNumber(v.Name, 'H', i),
+				vendor:  vi,
+				stats:   si,
+				kind:    k,
+				failDay: -1,
+			})
+		}
+	}
+	return specs, allStats
 }
 
 // simulateDrive runs one drive through the window and returns its

@@ -1,6 +1,7 @@
 package simfleet
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,6 +17,22 @@ func tinyFleet(t *testing.T) *Result {
 		t.Fatal(err)
 	}
 	return res
+}
+
+// TestSerialNumberMatchesSprintf pins the hand-rolled serial formatter
+// to the fmt layout it replaced: serials seed each drive's RNG, so any
+// drift here would silently change every simulated fleet.
+func TestSerialNumberMatchesSprintf(t *testing.T) {
+	for _, vendor := range []string{"I", "S", "T", "LongVendorName"} {
+		for _, tag := range []byte{'F', 'H'} {
+			for _, i := range []int{0, 1, 7, 99, 123456, 999999, 1000000, -3} {
+				want := fmt.Sprintf("%s-%c%06d", vendor, tag, i)
+				if got := serialNumber(vendor, tag, i); got != want {
+					t.Fatalf("serialNumber(%q, %q, %d) = %q, want %q", vendor, tag, i, got, want)
+				}
+			}
+		}
+	}
 }
 
 func TestSimulateDeterministic(t *testing.T) {
