@@ -22,11 +22,12 @@ lint:
 
 # race exercises every parallelised stage (the parallel engine, fleet
 # simulation, cleaning, the fused frame pipeline, labelling, extraction,
-# training, sampling views, the pipeline front-end, search) under the
-# race detector; determinism tests double as ordering checks.
+# training, sampling views, the pipeline front-end, search, the sharded
+# serving engine, and the batched agent) under the race detector;
+# determinism tests double as ordering checks.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/labeling ./internal/ingest ./internal/features ./internal/sampling ./internal/core
+	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/labeling ./internal/ingest ./internal/features ./internal/sampling ./internal/core ./internal/serve ./internal/agent ./internal/fleetops
 
 # Seed-commit BenchmarkForestTrain numbers (pre histogram engine),
 # measured with `git worktree add <dir> <ref>` + `go test -bench
@@ -40,12 +41,13 @@ BASELINE_ALLOCS ?= 34346
 # bench writes BENCH_train.json (training: histogram vs exact split
 # finding), BENCH_predict.json (scoring: flattened batch kernel vs the
 # per-row interface path), BENCH_search.json (bin-once SampleSet views
-# vs the per-candidate slice-copy representation), and
-# BENCH_pipeline.json (columnar frame data plane vs the record path)
-# via cmd/mfpabench.
+# vs the per-candidate slice-copy representation), BENCH_pipeline.json
+# (columnar frame data plane vs the record path), and BENCH_serve.json
+# (incremental sharded fleet scoring vs the full-replay seed serving
+# path) via cmd/mfpabench.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./internal/parallel ./internal/simfleet ./internal/dataset ./internal/features ./internal/ml/search ./internal/ml/predict ./internal/ml/forest ./internal/ml/gbdt
-	$(GO) run ./cmd/mfpabench -out BENCH_train.json -predict-out BENCH_predict.json -search-out BENCH_search.json -pipeline-out BENCH_pipeline.json -benchtime 2s \
+	$(GO) run ./cmd/mfpabench -out BENCH_train.json -predict-out BENCH_predict.json -search-out BENCH_search.json -pipeline-out BENCH_pipeline.json -serve-out BENCH_serve.json -benchtime 2s \
 		-baseline-ref $(BASELINE_REF) -baseline-ns $(BASELINE_NS) \
 		-baseline-bytes $(BASELINE_BYTES) -baseline-allocs $(BASELINE_ALLOCS)
 

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	mfpaagent -model model.json -data fleet.csv [-sn I-F000000] [-alarm-after 2]
+//	mfpaagent -model model.json -data fleet.csv -daily [-workers 0]
+//
+// The default mode replays drive by drive through per-record Observe
+// calls. -daily replays the same telemetry as the fleet service would
+// serve it: day-major batches through the incremental sharded scoring
+// engine, with -workers goroutines.
 package main
 
 import (
@@ -13,10 +19,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro/internal/agent"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/modelio"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -28,6 +37,8 @@ func main() {
 		dataPath   = flag.String("data", "", "telemetry CSV path (required)")
 		sn         = flag.String("sn", "", "replay only this drive (empty = all)")
 		alarmAfter = flag.Int("alarm-after", 2, "consecutive flags before alarming")
+		daily      = flag.Bool("daily", false, "batched day-major sweep through the sharded scoring engine")
+		workers    = flag.Int("workers", 0, "daily-sweep scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
 		verbose    = flag.Bool("v", false, "print every flagged observation, not just alarms")
 	)
 	flag.Parse()
@@ -56,13 +67,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	fmt.Printf("agent: %s/%s model, threshold %.3f, alarm after %d flags\n",
+		model.TrainerName, model.Config.Group, model.Threshold, *alarmAfter)
+
+	if *daily {
+		runDaily(model, data, *alarmAfter, *workers, *verbose)
+		return
+	}
+
 	ag, err := agent.New(model, agent.Options{AlarmAfter: *alarmAfter, Explain: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("agent: %s/%s model, threshold %.3f, alarm after %d flags\n",
-		model.TrainerName, model.Config.Group, model.Threshold, *alarmAfter)
 
 	drives := data.SerialNumbers()
 	if *sn != "" {
@@ -101,4 +117,67 @@ func main() {
 		}
 	}
 	fmt.Printf("%d drives scanned, %d alarms\n", scanned, alarms)
+}
+
+// runDaily replays the telemetry as a fleet service would see it
+// arrive: one day-major batch at a time through the sharded incremental
+// scorer, with alarms reported once per drive.
+func runDaily(model *core.Model, data *dataset.Dataset, alarmAfter, workers int, verbose bool) {
+	sc, err := serve.New(model, serve.Options{Workers: workers, AlarmAfter: alarmAfter})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byDay := make(map[int][]dataset.Record)
+	var days []int
+	drives := 0
+	data.Each(func(s *dataset.DriveSeries) {
+		if model.Config.Vendor != "" && s.Vendor != model.Config.Vendor {
+			return
+		}
+		drives++
+		for i := range s.Records {
+			d := s.Records[i].Day
+			if len(byDay[d]) == 0 {
+				days = append(days, d)
+			}
+			byDay[d] = append(byDay[d], s.Records[i])
+		}
+	})
+	sort.Ints(days)
+
+	alarmed := make(map[string]bool)
+	scored, flagged, dropped := 0, 0, 0
+	for _, day := range days {
+		as, err := sc.ObserveDay(byDay[day])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range as {
+			a := &as[i]
+			if a.Dropped {
+				dropped++
+				continue
+			}
+			scored++
+			if a.Flagged {
+				flagged++
+				if verbose {
+					fmt.Printf("%s day %d: P=%.3f flagged (%d consecutive)\n",
+						a.SerialNumber, a.Day, a.Probability, a.ConsecutiveFlags)
+				}
+			}
+			if a.Alarmed && !alarmed[a.SerialNumber] {
+				alarmed[a.SerialNumber] = true
+				fmt.Printf("%s day %d: ALARM P=%.3f", a.SerialNumber, a.Day, a.Probability)
+				if w, ok := sc.Window(a.SerialNumber); ok && w.Days > 1 {
+					fmt.Printf("  [%dd window: %.0f W/d, %.0f B/d, media err +%.0f]",
+						w.Days, w.WPerDay, w.BPerDay, w.MediaErrGrowth)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("%d drives swept over %d days: %d scored (%d flagged), %d dropped, %d alarms\n",
+		drives, len(days), scored, flagged, dropped, len(alarmed))
 }

@@ -77,6 +77,8 @@ func main() {
 
 		pipelineOut = flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline report path (empty disables the frame data-plane benchmarks)")
 
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "serving report path (empty disables the incremental scoring benchmarks)")
+
 		// Pre-refactor BenchmarkForestTrain numbers, measured at the
 		// commit before this engine landed (see Makefile bench target);
 		// when given, the report records the old-vs-new speedup too.
@@ -192,6 +194,10 @@ func main() {
 
 	if *pipelineOut != "" {
 		runPipelineBench(*pipelineOut, *scale)
+	}
+
+	if *serveOut != "" {
+		runServeBench(*serveOut, *scale)
 	}
 }
 

@@ -6,6 +6,12 @@
 // hysteresis so a single noisy day does not trigger data migration.
 // Models arrive through modelio envelopes and can be swapped live when
 // the server pushes a re-iterated model (the paper: every two months).
+//
+// Per-drive accumulation is a features.RollingState — the same
+// incremental engine the fleet-side serve.Scorer shards across workers
+// — so the agent can optionally run the full discontinuity
+// optimisation (Options.GapPolicy) and batch a day's records through
+// ObserveDay.
 package agent
 
 import (
@@ -17,6 +23,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/firmware"
+	"repro/internal/ml"
 )
 
 // Options configures an agent.
@@ -34,6 +41,16 @@ type Options struct {
 	// attribution (the random forest does). Costs one extra tree walk
 	// per flagged observation.
 	Explain bool
+	// GapPolicy applies the pipeline's discontinuity optimisation
+	// online: short gaps are mean-filled (each filled day is scored)
+	// and drives with a DropGap-sized gap stop being scored, exactly as
+	// the training pipeline would exclude them. The zero value keeps
+	// the agent's original pure-cumulate behaviour: every record scores
+	// as-is, gaps ignored.
+	GapPolicy dataset.GapPolicy
+	// Workers bounds the batch-scoring goroutines of ObserveDay
+	// (0 = GOMAXPROCS, 1 = serial). Observe is always serial.
+	Workers int
 }
 
 // Factor is one feature's contribution to a flagged prediction.
@@ -57,18 +74,35 @@ type Agent struct {
 	alarmAfter int
 	registries map[string]*firmware.Registry
 	explain    bool
+	policy     dataset.GapPolicy
+	workers    int
 	drives     map[string]*driveState
+
+	// Reusable scratch (guarded by mu): the per-observation feature
+	// rows, row metadata, explanation candidates, and ObserveDay's
+	// row-pointer/score batch. Observe used to allocate a fresh vector
+	// and []Factor per call; at one call per drive-day fleet-wide that
+	// dominated the agent's allocation profile.
+	scratchX    []float64
+	scratchMeta []features.EmittedRow
+	factorBuf   []Factor
+	dayPlans    []dayPlan
+	dayXs       [][]float64
+	dayScores   []float64
 }
 
-// driveState is the per-drive accumulation the pipeline's Cumulate
-// stage performs fleet-side.
+// driveState is one drive's incremental preprocessing state plus alarm
+// hysteresis.
 type driveState struct {
-	lastDay     int
-	cumW        []float64
-	cumB        []float64
+	roll        *features.RollingState
 	consecutive int
 	alarmed     bool
-	observed    int
+}
+
+// dayPlan locates one ObserveDay record's rows in the batch arena.
+type dayPlan struct {
+	rowOff int32
+	rows   int32
 }
 
 // Assessment is the outcome of one observation.
@@ -79,11 +113,17 @@ type Assessment struct {
 	Probability float64
 	// Flagged reports Probability ≥ the model's calibrated threshold.
 	Flagged bool
+	// Interpolated marks assessments of mean-filled days (only
+	// produced when Options.GapPolicy is set).
+	Interpolated bool
 	// ConsecutiveFlags counts the current run of flagged observations.
 	ConsecutiveFlags int
 	// Alarmed reports that the hysteresis criterion has been met (and
 	// latches until ResetDrive).
 	Alarmed bool
+	// Dropped reports the gap policy excluded the drive; no probability
+	// is attached.
+	Dropped bool
 	// TopFactors lists the strongest positive feature contributions
 	// when Options.Explain is set, the observation is flagged, and the
 	// model supports attribution; nil otherwise.
@@ -105,6 +145,11 @@ func New(model *core.Model, opts Options) (*Agent, error) {
 	if alarmAfter < 1 {
 		return nil, fmt.Errorf("agent: AlarmAfter %d must be ≥ 1", alarmAfter)
 	}
+	if opts.GapPolicy != (dataset.GapPolicy{}) {
+		if err := opts.GapPolicy.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	ext, err := features.NewExtractor(model.Config.Group, opts.Registries)
 	if err != nil {
 		return nil, err
@@ -119,49 +164,29 @@ func New(model *core.Model, opts Options) (*Agent, error) {
 		alarmAfter: alarmAfter,
 		registries: opts.Registries,
 		explain:    opts.Explain,
+		policy:     opts.GapPolicy,
+		workers:    opts.Workers,
 		drives:     make(map[string]*driveState),
+		// Non-nil from the start: a nil x tells Advance to skip
+		// extraction (the bulk catch-up path), which is never what the
+		// scoring paths want.
+		scratchX: make([]float64, 0, ext.Width()*4),
 	}, nil
 }
 
-// Observe ingests one day's raw (daily-count) telemetry record and
-// returns the health assessment. Records for a drive must arrive in
-// chronological order.
-func (a *Agent) Observe(rec dataset.Record) (Assessment, error) {
-	if err := rec.Validate(); err != nil {
-		return Assessment{}, err
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-
-	st, ok := a.drives[rec.SerialNumber]
+// state returns (creating if needed) the drive's state.
+func (a *Agent) state(sn string) *driveState {
+	st, ok := a.drives[sn]
 	if !ok {
-		st = &driveState{
-			lastDay: -1,
-			cumW:    make([]float64, len(rec.WCounts)),
-			cumB:    make([]float64, len(rec.BCounts)),
-		}
-		a.drives[rec.SerialNumber] = st
+		st = &driveState{roll: features.NewRollingState()}
+		a.drives[sn] = st
 	}
-	if rec.Day <= st.lastDay {
-		return Assessment{}, fmt.Errorf("agent: drive %s: day %d arrives after day %d", rec.SerialNumber, rec.Day, st.lastDay)
-	}
-	st.lastDay = rec.Day
-	st.observed++
+	return st
+}
 
-	// Accumulate W/B exactly as the training pipeline's Cumulate stage
-	// does, then score the cumulated view of the record.
-	for i, v := range rec.WCounts {
-		st.cumW[i] += v
-	}
-	for i, v := range rec.BCounts {
-		st.cumB[i] += v
-	}
-	scored := rec.Clone()
-	copy(scored.WCounts, st.cumW)
-	copy(scored.BCounts, st.cumB)
-
-	x := a.extractor.Extract(&scored)
-	p := a.model.Predict(x)
+// assess applies threshold + hysteresis to one scored row and fills an
+// assessment. Caller holds a.mu.
+func (a *Agent) assess(st *driveState, sn string, row features.EmittedRow, x []float64, p float64) Assessment {
 	flagged := p >= a.model.Threshold
 	if flagged {
 		st.consecutive++
@@ -172,21 +197,124 @@ func (a *Agent) Observe(rec dataset.Record) (Assessment, error) {
 		st.alarmed = true
 	}
 	as := Assessment{
-		SerialNumber:     rec.SerialNumber,
-		Day:              rec.Day,
+		SerialNumber:     sn,
+		Day:              int(row.Day),
 		Probability:      p,
 		Flagged:          flagged,
+		Interpolated:     row.Interpolated,
 		ConsecutiveFlags: st.consecutive,
 		Alarmed:          st.alarmed,
 	}
 	if flagged && a.explain {
 		as.TopFactors = a.topFactors(x)
 	}
-	return as, nil
+	return as
+}
+
+// Observe ingests one day's raw (daily-count) telemetry record and
+// returns the health assessment for that day. Records for a drive must
+// arrive in chronological order. When a gap policy is active, mean-
+// filled days are scored too (they advance the hysteresis) and a
+// record of a dropped drive returns a Dropped assessment.
+func (a *Agent) Observe(rec dataset.Record) (Assessment, error) {
+	if err := rec.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	st := a.state(rec.SerialNumber)
+	x, meta, err := st.roll.Advance(a.extractor, a.policy, &rec, a.scratchX[:0], a.scratchMeta[:0])
+	a.scratchX, a.scratchMeta = x, meta
+	if err != nil {
+		return Assessment{}, err
+	}
+	if len(meta) == 0 {
+		return Assessment{SerialNumber: rec.SerialNumber, Day: rec.Day, Dropped: true}, nil
+	}
+	width := a.extractor.Width()
+	var as Assessment
+	for k := range meta {
+		row := x[k*width : (k+1)*width]
+		as = a.assess(st, rec.SerialNumber, meta[k], row, a.model.Predict(row))
+	}
+	return as, nil // the record's own day is always the last row
+}
+
+// ObserveDay ingests a batch of records — typically every local drive's
+// record for one day — in a single pass: all feature rows accumulate
+// into one arena and score through the ml.ScoreBatch fast path in one
+// call. It returns one assessment per emitted row (mean-filled days
+// precede their record's day) plus one Dropped entry per excluded
+// record, in input-record order — a superset of what per-record Observe
+// calls would return. Scores are identical to Observe's.
+func (a *Agent) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if cap(a.dayPlans) < len(recs) {
+		a.dayPlans = make([]dayPlan, len(recs))
+	}
+	a.dayPlans = a.dayPlans[:len(recs)]
+	x, meta := a.scratchX[:0], a.scratchMeta[:0]
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return nil, err
+		}
+		st := a.state(recs[i].SerialNumber)
+		before := len(meta)
+		var err error
+		x, meta, err = st.roll.Advance(a.extractor, a.policy, &recs[i], x, meta)
+		a.scratchX, a.scratchMeta = x, meta
+		if err != nil {
+			return nil, err
+		}
+		a.dayPlans[i] = dayPlan{rowOff: int32(before), rows: int32(len(meta) - before)}
+	}
+	a.scratchX, a.scratchMeta = x, meta
+
+	width := a.extractor.Width()
+	rows := len(meta)
+	a.dayXs = a.dayXs[:0]
+	for r := 0; r < rows; r++ {
+		a.dayXs = append(a.dayXs, x[r*width:(r+1)*width:(r+1)*width])
+	}
+	if cap(a.dayScores) < rows {
+		a.dayScores = make([]float64, rows)
+	}
+	a.dayScores = a.dayScores[:rows]
+	ml.ScoreBatch(a.model.Classifier, a.dayXs, a.dayScores, a.workers)
+
+	entries := 0
+	for i := range recs {
+		if a.dayPlans[i].rows == 0 {
+			entries++
+		} else {
+			entries += int(a.dayPlans[i].rows)
+		}
+	}
+	out := make([]Assessment, 0, entries)
+	for i := range recs {
+		p := a.dayPlans[i]
+		if p.rows == 0 {
+			out = append(out, Assessment{SerialNumber: recs[i].SerialNumber, Day: recs[i].Day, Dropped: true})
+			continue
+		}
+		st := a.drives[recs[i].SerialNumber]
+		for k := int32(0); k < p.rows; k++ {
+			r := int(p.rowOff + k)
+			out = append(out, a.assess(st, recs[i].SerialNumber, meta[r], a.dayXs[r], a.dayScores[r]))
+		}
+	}
+	return out, nil
 }
 
 // topFactors returns the three strongest positive contributions when
-// the model supports attribution.
+// the model supports attribution. The candidate slice is pooled on the
+// agent; only the returned top-3 escape.
 func (a *Agent) topFactors(x []float64) []Factor {
 	exp, ok := a.model.Classifier.(explainer)
 	if !ok {
@@ -197,17 +325,32 @@ func (a *Agent) topFactors(x []float64) []Factor {
 	if len(contrib) != len(names) {
 		return nil
 	}
-	factors := make([]Factor, 0, len(contrib))
+	factors := a.factorBuf[:0]
 	for i, c := range contrib {
 		if c > 0 {
 			factors = append(factors, Factor{Feature: names[i], Contribution: c})
 		}
 	}
+	a.factorBuf = factors
 	sort.Slice(factors, func(i, j int) bool { return factors[i].Contribution > factors[j].Contribution })
 	if len(factors) > 3 {
 		factors = factors[:3]
 	}
-	return factors
+	out := make([]Factor, len(factors))
+	copy(out, factors)
+	return out
+}
+
+// Window returns a drive's trailing-window diagnostics (recent daily
+// W/B event rates, media-error growth).
+func (a *Agent) Window(sn string) (features.WindowStats, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.drives[sn]
+	if !ok {
+		return features.WindowStats{}, false
+	}
+	return st.roll.Window(), true
 }
 
 // UpdateModel swaps in a newly pushed model. The feature group must

@@ -1,0 +1,151 @@
+package agent
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// vendorDayBatches groups the test fleet's vendor-I raw records into
+// day-major batches, the ObserveDay feed shape.
+func vendorDayBatches(t *testing.T) [][]dataset.Record {
+	t.Helper()
+	fleet, _ := setup(t)
+	byDay := make(map[int][]dataset.Record)
+	var days []int
+	fleet.Data.Each(func(s *dataset.DriveSeries) {
+		if s.Vendor != "I" {
+			return
+		}
+		for i := range s.Records {
+			d := s.Records[i].Day
+			if len(byDay[d]) == 0 {
+				days = append(days, d)
+			}
+			byDay[d] = append(byDay[d], s.Records[i])
+		}
+	})
+	sort.Ints(days)
+	out := make([][]dataset.Record, 0, len(days))
+	for _, d := range days {
+		out = append(out, byDay[d])
+	}
+	return out
+}
+
+func sameAssessment(a, b Assessment) bool {
+	return a.SerialNumber == b.SerialNumber && a.Day == b.Day &&
+		a.Flagged == b.Flagged && a.Alarmed == b.Alarmed &&
+		a.Interpolated == b.Interpolated && a.Dropped == b.Dropped &&
+		a.ConsecutiveFlags == b.ConsecutiveFlags &&
+		math.Float64bits(a.Probability) == math.Float64bits(b.Probability)
+}
+
+// TestObserveDayMatchesObserve pins the batched path to the per-record
+// path bit-for-bit, under both the legacy pure-cumulate mode and the
+// pipeline gap policy. Observe returns only the record's own day, so
+// the batched output is compared after dropping interpolated rows.
+func TestObserveDayMatchesObserve(t *testing.T) {
+	_, model := setup(t)
+	batches := vendorDayBatches(t)
+	for _, policy := range []dataset.GapPolicy{{}, dataset.DefaultGapPolicy()} {
+		serial, err := New(model, Options{GapPolicy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := New(model, Options{GapPolicy: policy, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range batches {
+			var want []Assessment
+			for _, rec := range batch {
+				as, err := serial.Observe(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, as)
+			}
+			all, err := batched.ObserveDay(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []Assessment
+			for _, as := range all {
+				if !as.Interpolated {
+					got = append(got, as)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("policy %+v day %d: %d batched record assessments, %d serial", policy, batch[0].Day, len(got), len(want))
+			}
+			for i := range got {
+				if !sameAssessment(got[i], want[i]) {
+					t.Fatalf("policy %+v: record %s day %d: batched %+v vs serial %+v", policy, want[i].SerialNumber, want[i].Day, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStateRoundTripWithGapPolicy saves an agent mid-stream under the
+// fill/drop policy and checks the restored agent continues
+// bit-identically — including across a gap that straddles the save
+// point, which needs the previous raw record from the v2 snapshot.
+func TestStateRoundTripWithGapPolicy(t *testing.T) {
+	_, model := setup(t)
+	batches := vendorDayBatches(t)
+	cut := len(batches) / 2
+
+	mk := func() *Agent {
+		a, err := New(model, Options{GapPolicy: dataset.DefaultGapPolicy()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	run := func(a *Agent, bs [][]dataset.Record) []Assessment {
+		var out []Assessment
+		for _, b := range bs {
+			as, err := a.ObserveDay(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, as...)
+		}
+		return out
+	}
+
+	straight := mk()
+	run(straight, batches[:cut])
+	want := run(straight, batches[cut:])
+
+	saved := mk()
+	run(saved, batches[:cut])
+	var buf bytes.Buffer
+	if err := saved.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := mk()
+	if err := restored.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := run(restored, batches[cut:])
+
+	if len(got) != len(want) {
+		t.Fatalf("restored run: %d assessments, uninterrupted %d", len(got), len(want))
+	}
+	interpolated := false
+	for i := range got {
+		if !sameAssessment(got[i], want[i]) {
+			t.Fatalf("assessment %d: restored %+v vs uninterrupted %+v", i, got[i], want[i])
+		}
+		interpolated = interpolated || got[i].Interpolated
+	}
+	if !interpolated {
+		t.Fatal("fixture tail produced no mean-filled rows; restart-under-fill untested")
+	}
+}

@@ -4,16 +4,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/features"
 )
 
 // Consumer machines reboot constantly, so the agent's per-drive
 // accumulation must survive process restarts: SaveState serialises the
-// cumulative counters, flag runs, and alarm latches; LoadState restores
-// them into a freshly constructed agent (the model itself travels
-// separately, via modelio).
+// rolling feature state, flag runs, and alarm latches; LoadState
+// restores them into a freshly constructed agent (the model itself
+// travels separately, via modelio).
 
-// stateVersion guards the state layout.
-const stateVersion = 1
+// stateVersion guards the state layout. Version 2 carries the full
+// rolling state (the previous raw daily observation, gap tracking, and
+// diagnostic rings) so a restart mid-gap mean-fills identically to an
+// uninterrupted run; version 1 held only the cumulates and is still
+// accepted (it predates gap policies, so nothing is lost).
+const stateVersion = 2
 
 // persistedState is the on-disk form of the agent's drive map.
 type persistedState struct {
@@ -22,14 +28,17 @@ type persistedState struct {
 	Drives  map[string]persistedDrive `json:"drives"`
 }
 
-// persistedDrive mirrors driveState.
+// persistedDrive mirrors driveState. The version-1 fields (LastDay,
+// CumW, CumB, Observed) remain readable for old state files.
 type persistedDrive struct {
-	LastDay     int       `json:"last_day"`
-	CumW        []float64 `json:"cum_w"`
-	CumB        []float64 `json:"cum_b"`
-	Consecutive int       `json:"consecutive"`
-	Alarmed     bool      `json:"alarmed"`
-	Observed    int       `json:"observed"`
+	Rolling     *features.RollingSnapshot `json:"rolling,omitempty"`
+	Consecutive int                       `json:"consecutive"`
+	Alarmed     bool                      `json:"alarmed"`
+
+	LastDay  int       `json:"last_day,omitempty"`
+	CumW     []float64 `json:"cum_w,omitempty"`
+	CumB     []float64 `json:"cum_b,omitempty"`
+	Observed int       `json:"observed,omitempty"`
 }
 
 // SaveState writes the agent's accumulated per-drive state to w.
@@ -42,13 +51,11 @@ func (a *Agent) SaveState(w io.Writer) error {
 		Drives:  make(map[string]persistedDrive, len(a.drives)),
 	}
 	for sn, st := range a.drives {
+		snap := st.roll.Snapshot()
 		out.Drives[sn] = persistedDrive{
-			LastDay:     st.lastDay,
-			CumW:        st.cumW,
-			CumB:        st.cumB,
+			Rolling:     &snap,
 			Consecutive: st.consecutive,
 			Alarmed:     st.alarmed,
-			Observed:    st.observed,
 		}
 	}
 	return json.NewEncoder(w).Encode(&out)
@@ -62,7 +69,7 @@ func (a *Agent) LoadState(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return fmt.Errorf("agent: decode state: %w", err)
 	}
-	if in.Version != stateVersion {
+	if in.Version != stateVersion && in.Version != 1 {
 		return fmt.Errorf("agent: state version %d, want %d", in.Version, stateVersion)
 	}
 	a.mu.Lock()
@@ -77,16 +84,34 @@ func (a *Agent) LoadState(r io.Reader) error {
 		if sn == "" {
 			return fmt.Errorf("agent: state contains empty serial number")
 		}
-		if pd.LastDay < -1 || pd.Consecutive < 0 || pd.Observed < 0 {
+		if pd.Consecutive < 0 {
 			return fmt.Errorf("agent: state for %s is corrupt", sn)
 		}
+		snap := pd.Rolling
+		if snap == nil {
+			// Version-1 layout: reconstruct the rolling state from the
+			// cumulates alone. The previous raw observation is unknown,
+			// which only a gap policy's mean-fill would need — and v1
+			// agents could not run one.
+			if pd.LastDay < -1 || pd.Observed < 0 {
+				return fmt.Errorf("agent: state for %s is corrupt", sn)
+			}
+			snap = &features.RollingSnapshot{
+				LastDay:  pd.LastDay,
+				Observed: pd.Observed,
+				Rows:     pd.Observed,
+				CumW:     pd.CumW,
+				CumB:     pd.CumB,
+			}
+		}
+		roll, err := features.RollingFromSnapshot(*snap)
+		if err != nil {
+			return fmt.Errorf("agent: state for %s: %w", sn, err)
+		}
 		a.drives[sn] = &driveState{
-			lastDay:     pd.LastDay,
-			cumW:        append([]float64(nil), pd.CumW...),
-			cumB:        append([]float64(nil), pd.CumB...),
+			roll:        roll,
 			consecutive: pd.Consecutive,
 			alarmed:     pd.Alarmed,
-			observed:    pd.Observed,
 		}
 	}
 	return nil

@@ -151,6 +151,57 @@ func (e *Extractor) primeFrame(f *dataset.Frame) {
 	e.primedForFrame = f
 }
 
+// PrimeFrame registers every (vendor, firmware version) pair of f with
+// the extractor's encoders, in the same drive-then-row order the
+// offline build uses. After priming, feature extraction over the
+// frame's versions performs only reads on the extractor, so serving
+// paths can fan out across goroutines. No-op for groups without the
+// firmware feature.
+func (e *Extractor) PrimeFrame(f *dataset.Frame) { e.primeFrame(f) }
+
+// PrimeVersion registers one (vendor, firmware version) pair, creating
+// the vendor's encoder if needed. Online scorers call it serially for
+// each incoming record before fanning extraction out, so the encoder
+// maps are never written concurrently and registry-unknown versions get
+// first-seen codes in arrival order. No-op for groups without the
+// firmware feature.
+func (e *Extractor) PrimeVersion(vendor string, v firmware.Version) {
+	if !e.group.Firmware {
+		return
+	}
+	e.encoder(vendor).Encode(v)
+}
+
+// appendCumRow appends the feature vector of one already-cumulated
+// drive-day — SMART values, firmware version, and the running W/B
+// totals held by a RollingState — to dst. It is ExtractInto without the
+// Record: the serving data plane keeps cumulates in flat slices and
+// never materialises records. After priming, it only reads the
+// extractor.
+func (e *Extractor) appendCumRow(vendor string, smart []float64, fw firmware.Version, cumW, cumB []float64, dst []float64) []float64 {
+	if e.group.SMART {
+		dst = append(dst, smart...)
+	}
+	if e.group.Firmware {
+		dst = append(dst, e.encoder(vendor).Encode(fw))
+	}
+	if e.group.WEvents {
+		for _, idx := range e.wIdx {
+			dst = append(dst, cumW[idx])
+		}
+	}
+	if e.group.BSOD {
+		dst = append(dst, cumB...)
+		// Same index-order summation as Counts.Total.
+		tot := 0.0
+		for _, v := range cumB {
+			tot += v
+		}
+		dst = append(dst, tot)
+	}
+	return dst
+}
+
 // Extract builds the feature vector of r. The W and B counters are used
 // as stored — run dataset.Cumulate first to follow the paper's
 // accumulated-count preprocessing.

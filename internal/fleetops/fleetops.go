@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/modelio"
+	"repro/internal/serve"
 	"repro/internal/ticket"
 )
 
@@ -40,10 +41,12 @@ type IterationRecord struct {
 	TrainSamples int
 }
 
-// vendorState tracks one vendor's current model and history.
+// vendorState tracks one vendor's current model, history, and (once
+// daily sweeps start) its incremental fleet scorer.
 type vendorState struct {
 	model   *core.Model
 	history []IterationRecord
+	scorer  *serve.Scorer
 }
 
 // Service manages per-vendor MFPA models. It is safe for concurrent
@@ -108,6 +111,14 @@ func (s *Service) Train(data *dataset.Dataset, tickets *ticket.Store, vendor str
 	}
 	st.model = model
 	st.history = append(st.history, rec)
+	if st.scorer != nil {
+		// The sweep scorer keeps its accumulated drive state across
+		// iterations; only the model swaps (the template's group never
+		// changes, so the state stays valid).
+		if err := st.scorer.UpdateModel(model); err != nil {
+			return rec, fmt.Errorf("fleetops: vendor %s: %w", vendor, err)
+		}
+	}
 	return rec, nil
 }
 

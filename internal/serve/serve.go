@@ -1,0 +1,512 @@
+// Package serve is the fleet-side daily scoring engine — the serving
+// counterpart of the offline pipeline speedups. Where the client agent
+// scores one record at a time, the Scorer ingests a whole day of fleet
+// telemetry at once: drives are sharded by serial hash across
+// internal/parallel workers, each shard advances its drives'
+// RollingStates and accumulates the day's feature rows into a pooled
+// flat arena, the whole day is scored through ml.ScoreBatch in one
+// call (hitting the flattened batch kernel), and per-shard results are
+// merged back into input order deterministically. Feature rows and
+// scores are bit-identical to the offline
+// CleanDiscontinuity→Cumulate→extract pipeline at any worker or shard
+// count.
+package serve
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/firmware"
+	"repro/internal/ml"
+	"repro/internal/parallel"
+)
+
+// Options configures a Scorer.
+type Options struct {
+	// Workers bounds the goroutines of the shard fan-out and the batch
+	// scoring kernel: 0 = GOMAXPROCS, 1 = serial. Outputs are identical
+	// at any setting.
+	Workers int
+	// Shards is the number of drive shards; 0 selects 32. More shards
+	// than workers keeps the fan-out balanced when drive populations
+	// are skewed.
+	Shards int
+	// AlarmAfter is how many consecutive flagged rows latch a drive's
+	// alarm; 0 selects 2.
+	AlarmAfter int
+	// GapPolicy is the discontinuity optimisation applied online; the
+	// zero value selects the model's own pipeline policy
+	// (model.Config.GapPolicy), keeping serving faithful to training.
+	GapPolicy dataset.GapPolicy
+	// Registries supplies per-vendor firmware ladders; nil falls back
+	// to first-seen-order encoding.
+	Registries map[string]*firmware.Registry
+}
+
+// Assessment is the outcome of scoring one emitted drive-day row (or
+// one consumed record of a dropped drive).
+type Assessment struct {
+	SerialNumber string
+	Day          int
+	// Probability is the model's P(faulty); meaningless when Dropped.
+	Probability float64
+	// Flagged reports Probability ≥ the model's threshold.
+	Flagged bool
+	// Interpolated marks rows synthesised by mean-fill.
+	Interpolated bool
+	// ConsecutiveFlags counts the current run of flagged rows.
+	ConsecutiveFlags int
+	// Alarmed reports the hysteresis criterion has latched.
+	Alarmed bool
+	// Dropped reports the drive was excluded by the gap policy (the
+	// offline pipeline would not score it); no probability is attached.
+	Dropped bool
+}
+
+// driveRoll is one drive's serving state: the rolling feature state
+// plus alarm hysteresis.
+type driveRoll struct {
+	roll        *features.RollingState
+	consecutive int
+	alarmed     bool
+}
+
+// shard owns a disjoint subset of the fleet's drives plus the pooled
+// per-day scratch its worker fills: the feature-row arena, row
+// metadata, and the record indexes routed to it.
+type shard struct {
+	drives map[string]*driveRoll
+	recIdx []int32 // input indexes of today's records, in input order
+	x      []float64
+	meta   []features.EmittedRow
+	rowOff int // row offset of this shard within the day's arena
+}
+
+// recPlan locates one input record's emitted rows inside its shard.
+type recPlan struct {
+	shard  int32
+	rowOff int32 // rows before this record within the shard
+	rows   int32 // emitted rows (0 = dropped drive)
+	outOff int32 // offset into the output slice
+}
+
+// Scorer scores fleet telemetry day batches against a deployed model.
+// Methods are safe for concurrent use, but days must be ingested in
+// order, so callers typically drive it from one goroutine.
+type Scorer struct {
+	mu         sync.Mutex
+	model      *core.Model
+	ext        *features.Extractor
+	policy     dataset.GapPolicy
+	alarmAfter int
+	workers    int
+	registries map[string]*firmware.Registry
+
+	seed   maphash.Seed
+	shards []shard
+
+	// Pooled per-call scratch.
+	plans  []recPlan
+	xs     [][]float64
+	scores []float64
+	errIdx []int // per-shard index of the first failing record, -1 = none
+	errs   []error
+}
+
+// New builds a scorer around a deployed model.
+func New(model *core.Model, opts Options) (*Scorer, error) {
+	if model == nil || model.Classifier == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if model.Config.Algorithm.Sequential() {
+		return nil, fmt.Errorf("serve: sequence models (%s) are not supported; deploy a flat model", model.Config.Algorithm)
+	}
+	alarmAfter := opts.AlarmAfter
+	if alarmAfter == 0 {
+		alarmAfter = 2
+	}
+	if alarmAfter < 1 {
+		return nil, fmt.Errorf("serve: AlarmAfter %d must be ≥ 1", alarmAfter)
+	}
+	nshards := opts.Shards
+	if nshards == 0 {
+		nshards = 32
+	}
+	if nshards < 1 {
+		return nil, fmt.Errorf("serve: Shards %d must be ≥ 1", nshards)
+	}
+	policy := opts.GapPolicy
+	if policy == (dataset.GapPolicy{}) {
+		policy = model.Config.GapPolicy
+	}
+	if policy == (dataset.GapPolicy{}) {
+		policy = dataset.DefaultGapPolicy()
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	ext, err := features.NewExtractor(model.Config.Group, opts.Registries)
+	if err != nil {
+		return nil, err
+	}
+	if model.Width != 0 && ext.Width() != model.Width {
+		return nil, fmt.Errorf("serve: model width %d does not match group %s width %d",
+			model.Width, model.Config.Group, ext.Width())
+	}
+	s := &Scorer{
+		model:      model,
+		ext:        ext,
+		policy:     policy,
+		alarmAfter: alarmAfter,
+		workers:    opts.Workers,
+		registries: opts.Registries,
+		seed:       maphash.MakeSeed(),
+		shards:     make([]shard, nshards),
+		errIdx:     make([]int, nshards),
+		errs:       make([]error, nshards),
+	}
+	for i := range s.shards {
+		s.shards[i].drives = make(map[string]*driveRoll)
+		// Non-nil from the start: a nil x tells Advance to skip
+		// extraction, which ObserveDay never wants.
+		s.shards[i].x = make([]float64, 0, ext.Width())
+	}
+	return s, nil
+}
+
+// shardOf hashes a serial number to its shard. The seed is per-Scorer,
+// so shard contents are an implementation detail; outputs never depend
+// on the assignment.
+func (s *Scorer) shardOf(sn string) int {
+	return int(maphash.String(s.seed, sn) % uint64(len(s.shards)))
+}
+
+// roll returns (creating if needed) a shard's state for sn.
+func (sh *shard) rollFor(sn string) *driveRoll {
+	dr, ok := sh.drives[sn]
+	if !ok {
+		dr = &driveRoll{roll: features.NewRollingState()}
+		sh.drives[sn] = dr
+	}
+	return dr
+}
+
+// ObserveDay ingests one day of raw (daily-count) fleet telemetry and
+// returns one assessment per emitted feature row — mean-filled days
+// precede their record's own day — plus one Dropped entry per record
+// whose drive the gap policy has excluded. Results are in input-record
+// order and identical at any Workers/Shards setting.
+//
+// The batch does not need to share a literal calendar day; any set of
+// records is accepted as long as each drive's records arrive in
+// chronological order (within and across calls). On error, records
+// preceding the failure (and records of other shards) may already have
+// advanced their drives' state, exactly as a serial per-record loop
+// that failed midway would have.
+func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Serial pre-pass: validate, register firmware versions with the
+	// encoders (the only extractor mutation — after this, extraction is
+	// read-only and safe to fan out), and route records to shards.
+	for i := range s.shards {
+		s.shards[i].recIdx = s.shards[i].recIdx[:0]
+		s.errIdx[i] = -1
+		s.errs[i] = nil
+	}
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return nil, err
+		}
+		s.ext.PrimeVersion(recs[i].Vendor, recs[i].Firmware)
+		si := s.shardOf(recs[i].SerialNumber)
+		s.shards[si].recIdx = append(s.shards[si].recIdx, int32(i))
+	}
+	if cap(s.plans) < len(recs) {
+		s.plans = make([]recPlan, len(recs))
+	}
+	s.plans = s.plans[:len(recs)]
+
+	// Fan out: each shard advances its drives in input order and
+	// accumulates feature rows into its pooled arena slab.
+	width := s.ext.Width()
+	nsh := len(s.shards)
+	_ = parallel.Do(nsh, s.workers, func(si int) error {
+		sh := &s.shards[si]
+		sh.x = sh.x[:0]
+		sh.meta = sh.meta[:0]
+		for _, ri := range sh.recIdx {
+			rec := &recs[ri]
+			dr := sh.rollFor(rec.SerialNumber)
+			before := len(sh.meta)
+			x, meta, err := dr.roll.Advance(s.ext, s.policy, rec, sh.x, sh.meta)
+			sh.x, sh.meta = x, meta
+			if err != nil {
+				s.errIdx[si] = int(ri)
+				s.errs[si] = err
+				return nil // surfaced after the join, lowest index wins
+			}
+			s.plans[ri] = recPlan{shard: int32(si), rowOff: int32(before), rows: int32(len(sh.meta) - before)}
+		}
+		return nil
+	})
+	first := -1
+	for si := 0; si < nsh; si++ {
+		if s.errIdx[si] >= 0 && (first < 0 || s.errIdx[si] < s.errIdx[first]) {
+			first = si
+		}
+	}
+	if first >= 0 {
+		return nil, s.errs[first]
+	}
+
+	// Stitch the shard slabs into one row-pointer batch and score it
+	// through the flattened kernel in a single call.
+	totalRows := 0
+	for si := range s.shards {
+		s.shards[si].rowOff = totalRows
+		totalRows += len(s.shards[si].meta)
+	}
+	entries := 0
+	for i := range recs {
+		p := &s.plans[i]
+		n := int32(1) // dropped records still produce one entry
+		if p.rows > 0 {
+			n = p.rows
+		}
+		p.outOff = int32(entries)
+		entries += int(n)
+	}
+	s.xs = s.xs[:0]
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for r := 0; r < len(sh.meta); r++ {
+			s.xs = append(s.xs, sh.x[r*width:(r+1)*width:(r+1)*width])
+		}
+	}
+	if cap(s.scores) < totalRows {
+		s.scores = make([]float64, totalRows)
+	}
+	s.scores = s.scores[:totalRows]
+	ml.ScoreBatch(s.model.Classifier, s.xs, s.scores, s.workers)
+
+	// Merge: each shard applies hysteresis to its own drives (disjoint,
+	// so no locking) and writes assessments at precomputed offsets.
+	out := make([]Assessment, entries)
+	threshold := s.model.Threshold
+	_ = parallel.Do(nsh, s.workers, func(si int) error {
+		sh := &s.shards[si]
+		for _, ri := range sh.recIdx {
+			rec := &recs[ri]
+			p := &s.plans[ri]
+			if p.rows == 0 {
+				out[p.outOff] = Assessment{SerialNumber: rec.SerialNumber, Day: rec.Day, Dropped: true}
+				continue
+			}
+			dr := sh.drives[rec.SerialNumber]
+			for k := int32(0); k < p.rows; k++ {
+				m := sh.meta[p.rowOff+k]
+				score := s.scores[sh.rowOff+int(p.rowOff+k)]
+				flagged := score >= threshold
+				if flagged {
+					dr.consecutive++
+				} else {
+					dr.consecutive = 0
+				}
+				if dr.consecutive >= s.alarmAfter {
+					dr.alarmed = true
+				}
+				out[p.outOff+k] = Assessment{
+					SerialNumber:     rec.SerialNumber,
+					Day:              int(m.Day),
+					Probability:      score,
+					Flagged:          flagged,
+					Interpolated:     m.Interpolated,
+					ConsecutiveFlags: dr.consecutive,
+					Alarmed:          dr.alarmed,
+				}
+			}
+		}
+		return nil
+	})
+	return out, nil
+}
+
+// ReplayStats summarises a ReplayFrame pass.
+type ReplayStats struct {
+	// Drives is the number of drives touched.
+	Drives int
+	// Records is the number of frame rows consumed.
+	Records int
+	// Rows is the number of feature rows the offline pipeline would
+	// have produced for them (mean-filled days included).
+	Rows int
+	// Dropped is how many drives the gap policy excluded.
+	Dropped int
+}
+
+// ReplayFrame bootstraps per-drive state from historical telemetry in
+// one frame-native bulk pass: every drive's rows advance its
+// RollingState without materialising records, extracting features, or
+// scoring — catch-up only needs the cumulates, so it runs at memory
+// speed. The frame must hold raw daily counts (running totals cannot
+// be split back into the exact daily vectors a future mean-fill
+// needs). Scoring then resumes with ObserveDay for subsequent days.
+func (s *Scorer) ReplayFrame(f *dataset.Frame) (ReplayStats, error) {
+	if f.Cumulated() {
+		return ReplayStats{}, fmt.Errorf("serve: ReplayFrame needs raw daily counts, got a cumulated frame")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Serial pre-pass: register firmware versions (drive-major, the
+	// offline priming order) and route drives to shards.
+	s.ext.PrimeFrame(f)
+	lists := make([][]int32, len(s.shards))
+	for di := 0; di < f.Drives(); di++ {
+		si := s.shardOf(f.Drive(di).SerialNumber)
+		lists[si] = append(lists[si], int32(di))
+	}
+	for si := range s.shards {
+		s.errIdx[si] = -1
+		s.errs[si] = nil
+	}
+	stats := parallel.Collect(len(s.shards), s.workers, func(si int) ReplayStats {
+		var st ReplayStats
+		sh := &s.shards[si]
+		for _, di := range lists[si] {
+			d := f.Drive(int(di))
+			dr := sh.rollFor(d.SerialNumber)
+			st.Drives++
+			wasDropped := dr.roll.Dropped()
+			rows0 := dr.roll.Rows()
+			for r := int(d.Start); r < int(d.End); r++ {
+				_, meta, err := dr.roll.AdvanceRow(s.ext, s.policy, d.SerialNumber, d.Vendor, int(f.Day(r)),
+					f.SmartRow(r), f.FirmwareAt(r), f.WRow(r), f.BRow(r), nil, sh.meta[:0])
+				sh.meta = meta[:0]
+				if err != nil {
+					s.errIdx[si] = int(di)
+					s.errs[si] = err
+					return st
+				}
+				st.Records++
+			}
+			st.Rows += dr.roll.Rows() - rows0
+			if dr.roll.Dropped() && !wasDropped {
+				st.Dropped++
+			}
+		}
+		return st
+	})
+	first := -1
+	for si := range s.shards {
+		if s.errIdx[si] >= 0 && (first < 0 || s.errIdx[si] < s.errIdx[first]) {
+			first = si
+		}
+	}
+	if first >= 0 {
+		return ReplayStats{}, s.errs[first]
+	}
+	var total ReplayStats
+	for _, st := range stats {
+		total.Drives += st.Drives
+		total.Records += st.Records
+		total.Rows += st.Rows
+		total.Dropped += st.Dropped
+	}
+	return total, nil
+}
+
+// UpdateModel swaps in a newly pushed model. The feature group must
+// match so the accumulated per-drive state stays valid.
+func (s *Scorer) UpdateModel(model *core.Model) error {
+	if model == nil || model.Classifier == nil {
+		return fmt.Errorf("serve: nil model")
+	}
+	if model.Config.Algorithm.Sequential() {
+		return fmt.Errorf("serve: sequence models are not supported")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if model.Config.Group != s.model.Config.Group {
+		return fmt.Errorf("serve: pushed model uses group %s, scorer runs %s",
+			model.Config.Group, s.model.Config.Group)
+	}
+	ext, err := features.NewExtractor(model.Config.Group, s.registries)
+	if err != nil {
+		return err
+	}
+	s.model = model
+	s.ext = ext
+	return nil
+}
+
+// Threshold returns the active model's decision threshold.
+func (s *Scorer) Threshold() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.Threshold
+}
+
+// Drives lists the serial numbers observed so far, sorted.
+func (s *Scorer) Drives() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for i := range s.shards {
+		for sn := range s.shards[i].drives {
+			out = append(out, sn)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alarmed reports whether a drive's alarm has latched.
+func (s *Scorer) Alarmed(sn string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dr, ok := s.shards[s.shardOf(sn)].drives[sn]
+	return ok && dr.alarmed
+}
+
+// Dropped reports whether the gap policy has excluded a drive.
+func (s *Scorer) Dropped(sn string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dr, ok := s.shards[s.shardOf(sn)].drives[sn]
+	return ok && dr.roll.Dropped()
+}
+
+// ResetDrive clears a drive's state (e.g. after replacement). It
+// reports whether the drive was known.
+func (s *Scorer) ResetDrive(sn string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := &s.shards[s.shardOf(sn)]
+	if _, ok := sh.drives[sn]; !ok {
+		return false
+	}
+	delete(sh.drives, sn)
+	return true
+}
+
+// Window returns a drive's trailing-window diagnostics.
+func (s *Scorer) Window(sn string) (features.WindowStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dr, ok := s.shards[s.shardOf(sn)].drives[sn]
+	if !ok {
+		return features.WindowStats{}, false
+	}
+	return dr.roll.Window(), true
+}
