@@ -1,7 +1,8 @@
 // Command mfpaagent is the client-side monitor as a CLI: it loads a
 // model envelope (from mfpatrain -save or fleetops publishing), replays
-// telemetry CSV (from mfpagen) through the agent, and reports every
-// alarm with its top contributing features.
+// telemetry (from mfpagen, CSV or the MFPAC binary container — the
+// format is detected from the file's leading bytes) through the agent,
+// and reports every alarm with its top contributing features.
 //
 // Usage:
 //
@@ -34,7 +35,7 @@ func main() {
 
 	var (
 		modelPath  = flag.String("model", "", "model envelope path (required)")
-		dataPath   = flag.String("data", "", "telemetry CSV path (required)")
+		dataPath   = flag.String("data", "", "telemetry path, CSV or MFPAC (required)")
 		sn         = flag.String("sn", "", "replay only this drive (empty = all)")
 		alarmAfter = flag.Int("alarm-after", 2, "consecutive flags before alarming")
 		daily      = flag.Bool("daily", false, "batched day-major sweep through the sharded scoring engine")
@@ -61,11 +62,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := dataset.ReadCSV(df)
+	// Either telemetry format loads into the columnar frame; the replay
+	// paths below still walk records, so materialise them once.
+	frame, err := dataset.ReadTelemetryWorkers(df, *workers)
 	df.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
+	data := frame.ToDataset()
 
 	fmt.Printf("agent: %s/%s model, threshold %.3f, alarm after %d flags\n",
 		model.TrainerName, model.Config.Group, model.Threshold, *alarmAfter)

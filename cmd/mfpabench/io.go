@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/simfleet"
+)
+
+// IOSpeedup compares the MFPAC binary container against the CSV
+// compat format on the same telemetry.
+type IOSpeedup struct {
+	CSV        Result  `json:"csv"`
+	MFPAC      Result  `json:"mfpac"`
+	TimeRatio  float64 `json:"time_ratio"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// IOReport is the BENCH_io.json schema.
+type IOReport struct {
+	GoVersion   string               `json:"go_version"`
+	GoMaxProcs  int                  `json:"go_max_procs"`
+	GeneratedAt string               `json:"generated_at"`
+	Dataset     map[string]int       `json:"dataset"`
+	CSVBytes    int                  `json:"csv_bytes"`
+	MFPACBytes  int                  `json:"mfpac_bytes"`
+	SizeRatio   float64              `json:"size_ratio"`
+	Benchmarks  []Result             `json:"benchmarks"`
+	Speedups    map[string]IOSpeedup `json:"speedups"`
+}
+
+// runIOBench measures the telemetry container formats against each
+// other on the standard simulated fleet: bytes on disk, read and
+// write wall-clock, and allocations. Before benchmarking it runs the
+// equivalence gate — the frame loaded from MFPAC (serial and
+// parallel) must be bit-identical to the frame loaded from the CSV
+// twin — and aborts the report if any value differs.
+func runIOBench(path string, scale float64) {
+	fleetCfg := simfleet.DefaultConfig()
+	fleetCfg.Seed = 1
+	fleetCfg.FailureScale = scale
+	fleet, err := simfleet.SimulateFrame(fleetCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame := fleet.Frame
+
+	var csvBuf, pacBuf bytes.Buffer
+	if err := dataset.WriteCSVFrame(&csvBuf, frame); err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteMFPAC(&pacBuf, frame); err != nil {
+		log.Fatal(err)
+	}
+	csvBytes, pacBytes := csvBuf.Bytes(), pacBuf.Bytes()
+	fmt.Printf("io benchmarks: %d drives, %d records — %.1f MB CSV, %.1f MB MFPAC (%.2fx smaller)\n",
+		frame.Drives(), frame.Len(),
+		float64(len(csvBytes))/1e6, float64(len(pacBytes))/1e6,
+		float64(len(csvBytes))/float64(len(pacBytes)))
+
+	// Equivalence gate: both containers must reconstruct the exact
+	// same frame, at workers=1 and at GOMAXPROCS.
+	fromCSV, err := dataset.ReadCSVFrame(bytes.NewReader(csvBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		fromPac, err := dataset.ReadMFPACWorkers(bytes.NewReader(pacBytes), workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := framesEqualBits(fromCSV, fromPac); err != nil {
+			log.Fatalf("equivalence gate (workers=%d): %v", workers, err)
+		}
+	}
+	fmt.Println("  equivalence gate: MFPAC load bit-identical to CSV load (workers=1 and parallel) ✓")
+
+	readCSV := benchFn("ReadTelemetry/csv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.ReadCSVFrame(bytes.NewReader(csvBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	readPacSerial := benchFn("ReadTelemetry/mfpac/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.ReadMFPACWorkers(bytes.NewReader(pacBytes), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	readPac := benchFn("ReadTelemetry/mfpac/parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.ReadMFPAC(bytes.NewReader(pacBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	writeCSV := benchFn("WriteTelemetry/csv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := dataset.WriteCSVFrame(io.Discard, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	writePacSerial := benchFn("WriteTelemetry/mfpac/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := dataset.WriteMFPACWorkers(io.Discard, frame, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	writePac := benchFn("WriteTelemetry/mfpac/parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := dataset.WriteMFPAC(io.Discard, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	report := IOReport{
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Dataset: map[string]int{
+			"drives":  frame.Drives(),
+			"records": frame.Len(),
+		},
+		CSVBytes:   len(csvBytes),
+		MFPACBytes: len(pacBytes),
+		SizeRatio:  float64(len(csvBytes)) / float64(len(pacBytes)),
+		Benchmarks: []Result{readCSV, readPacSerial, readPac, writeCSV, writePacSerial, writePac},
+		Speedups: map[string]IOSpeedup{
+			"read":         ioRatio(readCSV, readPac),
+			"read_serial":  ioRatio(readCSV, readPacSerial),
+			"write":        ioRatio(writeCSV, writePac),
+			"write_serial": ioRatio(writeCSV, writePacSerial),
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, key := range []string{"read", "read_serial", "write", "write_serial"} {
+		s := report.Speedups[key]
+		fmt.Printf("%-30s %6.2fx faster, %6.2fx fewer allocations\n", "io_"+key, s.TimeRatio, s.AllocRatio)
+	}
+	fmt.Printf("%-30s %6.2fx smaller on disk\n", "io_size", report.SizeRatio)
+	fmt.Printf("written to %s\n", path)
+}
+
+func ioRatio(csv, pac Result) IOSpeedup {
+	s := IOSpeedup{CSV: csv, MFPAC: pac}
+	if pac.NsPerOp > 0 {
+		s.TimeRatio = csv.NsPerOp / pac.NsPerOp
+	}
+	if pac.AllocsPerOp > 0 {
+		s.AllocRatio = float64(csv.AllocsPerOp) / float64(pac.AllocsPerOp)
+	}
+	return s
+}
+
+// framesEqualBits reports the first difference between two frames,
+// comparing float columns by exact bit pattern.
+func framesEqualBits(a, b *dataset.Frame) error {
+	if a.Drives() != b.Drives() || a.Len() != b.Len() || a.Cumulated() != b.Cumulated() {
+		return fmt.Errorf("shape differs: %d/%d drives, %d/%d rows", a.Drives(), b.Drives(), a.Len(), b.Len())
+	}
+	for i := 0; i < a.Drives(); i++ {
+		da, db := a.Drive(i), b.Drive(i)
+		if *da != *db {
+			return fmt.Errorf("drive %d identity differs: %+v vs %+v", i, da, db)
+		}
+		for row := int(da.Start); row < int(da.End); row++ {
+			if a.Day(row) != b.Day(row) || a.Interpolated(row) != b.Interpolated(row) ||
+				a.FirmwareAt(row) != b.FirmwareAt(row) {
+				return fmt.Errorf("drive %s row %d metadata differs", da.SerialNumber, row)
+			}
+			for c, cols := range [][2][]float64{
+				{a.SmartRow(row), b.SmartRow(row)},
+				{a.WRow(row), b.WRow(row)},
+				{a.BRow(row), b.BRow(row)},
+			} {
+				for j := range cols[0] {
+					if math.Float64bits(cols[0][j]) != math.Float64bits(cols[1][j]) {
+						return fmt.Errorf("drive %s row %d section %d col %d: %v vs %v",
+							da.SerialNumber, row, c, j, cols[0][j], cols[1][j])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

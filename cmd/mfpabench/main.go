@@ -79,6 +79,8 @@ func main() {
 
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "serving report path (empty disables the incremental scoring benchmarks)")
 
+		ioOut = flag.String("io-out", "BENCH_io.json", "telemetry container report path (empty disables the CSV-vs-MFPAC benchmarks)")
+
 		// Pre-refactor BenchmarkForestTrain numbers, measured at the
 		// commit before this engine landed (see Makefile bench target);
 		// when given, the report records the old-vs-new speedup too.
@@ -198,6 +200,10 @@ func main() {
 
 	if *serveOut != "" {
 		runServeBench(*serveOut, *scale)
+	}
+
+	if *ioOut != "" {
+		runIOBench(*ioOut, *scale)
 	}
 }
 

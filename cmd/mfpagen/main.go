@@ -1,11 +1,16 @@
 // Command mfpagen simulates a consumer SSD fleet and writes its
-// telemetry to a CSV file (plus a tickets CSV and a ground-truth CSV),
-// so the other tools and external analyses can consume a fixed dataset.
+// telemetry to a CSV file or an MFPAC binary columnar container (plus
+// a tickets CSV and a ground-truth CSV), so the other tools and
+// external analyses can consume a fixed dataset.
 //
 // Usage:
 //
-//	mfpagen -out fleet.csv [-tickets tickets.csv] [-truth truth.csv]
-//	        [-seed 1] [-days 210] [-scale 0.2] [-drift]
+//	mfpagen -out fleet.csv [-format csv|mfpac] [-tickets tickets.csv]
+//	        [-truth truth.csv] [-seed 1] [-days 210] [-scale 0.2] [-drift]
+//
+// The default -format "" picks by -out extension: .mfpac writes the
+// binary container, anything else CSV. The reading tools (mfpatrain,
+// mfpaagent) detect either format by its leading bytes.
 package main
 
 import (
@@ -27,7 +32,8 @@ func main() {
 	log.SetPrefix("mfpagen: ")
 
 	var (
-		out         = flag.String("out", "fleet.csv", "telemetry CSV output path")
+		out         = flag.String("out", "fleet.csv", "telemetry output path")
+		format      = flag.String("format", "", "telemetry format: csv|mfpac (empty = by -out extension)")
 		ticketsPath = flag.String("tickets", "", "tickets CSV output path (optional)")
 		truthPath   = flag.String("truth", "", "ground-truth CSV output path (optional)")
 		seed        = flag.Int64("seed", 1, "simulation seed")
@@ -49,17 +55,26 @@ func main() {
 		cfg.Days = *days
 	}
 
+	telFormat := dataset.FormatForPath(*out)
+	if *format != "" {
+		var ok bool
+		if telFormat, ok = dataset.ParseFormat(*format); !ok {
+			log.Fatalf("unknown -format %q (want csv or mfpac)", *format)
+		}
+	}
+
 	// The frame path writes telemetry straight from the simulation
-	// arena; the CSV bytes are identical to the record path's.
+	// arena; the CSV bytes are identical to the record path's, and the
+	// MFPAC container encodes its blocks from the same slabs.
 	res, err := simfleet.SimulateFrame(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := writeTelemetry(*out, res.Frame); err != nil {
+	if err := writeTelemetry(*out, res.Frame, telFormat); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s: %d drives, %d records, %d faulty\n",
-		*out, res.Frame.Drives(), res.Frame.Len(), res.FaultyCount())
+	fmt.Printf("wrote %s (%s): %d drives, %d records, %d faulty\n",
+		*out, telFormat, res.Frame.Drives(), res.Frame.Len(), res.FaultyCount())
 
 	if *ticketsPath != "" {
 		if err := writeTickets(*ticketsPath, res.Tickets); err != nil {
@@ -75,13 +90,13 @@ func main() {
 	}
 }
 
-func writeTelemetry(path string, fr *dataset.Frame) error {
+func writeTelemetry(path string, fr *dataset.Frame, format dataset.Format) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := dataset.WriteCSVFrame(f, fr); err != nil {
+	if err := dataset.WriteTelemetry(f, fr, format); err != nil {
 		return err
 	}
 	return f.Close()

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	mfpareport [-exp fig9] [-scale 0.2] [-seed 1] [-list] [-svg figures]
+//	           [-dump fleet.mfpac]
+//
+// -dump writes the exact telemetry the report ran on — to the MFPAC
+// binary columnar container when the path ends in .mfpac, CSV
+// otherwise — so mfpatrain/mfpaagent runs can consume the same fleet.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/simfleet"
 )
@@ -30,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "fleet seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into (optional)")
+		dump    = flag.String("dump", "", "write the report fleet's telemetry to this path (.mfpac = binary container, else CSV)")
 		workers = flag.Int("workers", 0, "worker goroutines for simulation and experiments (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	)
 	flag.Parse()
@@ -59,6 +66,13 @@ func main() {
 	fmt.Printf("fleet: %d drives, %d records, %d faulty (scale %g, seed %d, %v)\n\n",
 		ctx.Fleet.Data.Drives(), ctx.Fleet.Data.Len(), ctx.Fleet.FaultyCount(),
 		*scale, *seed, time.Since(start).Round(time.Millisecond))
+
+	if *dump != "" {
+		if err := dumpTelemetry(*dump, ctx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dumped fleet telemetry to %s (%s)\n\n", *dump, dataset.FormatForPath(*dump))
+	}
 
 	runners := experiments.Registry()
 	if *exp != "" {
@@ -101,4 +115,22 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// dumpTelemetry writes the report fleet's telemetry in the format the
+// path implies, reusing the context's columnar frame.
+func dumpTelemetry(path string, ctx *experiments.Context) error {
+	frame, err := ctx.FleetFrame()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.WriteTelemetry(f, frame, dataset.FormatForPath(path)); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -6,6 +6,10 @@
 //	mfpatrain [-vendor I] [-group SFWB] [-algo RF] [-seed 1]
 //	          [-scale 0.1] [-data fleet.csv -tickets tickets.csv]
 //	          [-bins 256] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -data accepts either telemetry format mfpagen writes (CSV or the
+// MFPAC binary container); the format is detected from the file's
+// leading bytes.
 package main
 
 import (
@@ -35,7 +39,7 @@ func main() {
 		algoName    = flag.String("algo", "RF", "algorithm: Bayes|SVM|RF|GBDT|CNN_LSTM")
 		seed        = flag.Int64("seed", 1, "pipeline and fleet seed")
 		scale       = flag.Float64("scale", 0.1, "failure-count scale when simulating")
-		dataPath    = flag.String("data", "", "telemetry CSV from mfpagen (simulates when empty)")
+		dataPath    = flag.String("data", "", "telemetry file from mfpagen, CSV or MFPAC (simulates when empty)")
 		ticketsPath = flag.String("tickets", "", "tickets CSV from mfpagen (required with -data)")
 		theta       = flag.Int("theta", 7, "failure-time threshold θ in days")
 		posWindow   = flag.Int("window", 7, "positive sample window in days")
@@ -89,7 +93,7 @@ func main() {
 			log.Fatal("-tickets is required with -data")
 		}
 		var err error
-		frame, err = readTelemetry(*dataPath)
+		frame, err = readTelemetry(*dataPath, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -183,13 +187,16 @@ func orAll(v string) string {
 	return v
 }
 
-func readTelemetry(path string) (*dataset.Frame, error) {
+// readTelemetry loads a telemetry file of either format — the MFPAC
+// binary container is detected by its magic bytes and decoded
+// block-parallel, anything else goes through the CSV compat reader.
+func readTelemetry(path string, workers int) (*dataset.Frame, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadCSVFrame(f)
+	return dataset.ReadTelemetryWorkers(f, workers)
 }
 
 func readTickets(path string) (*ticket.Store, error) {

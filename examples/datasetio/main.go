@@ -1,6 +1,7 @@
-// Datasetio: the data-pipeline scenario — export a fleet's telemetry to
-// CSV (the hand-off format between the collection agent and the
-// training side), read it back, and verify a model trained on the
+// Datasetio: the data-pipeline scenario — export a fleet's telemetry
+// in both hand-off formats (CSV and the MFPAC binary columnar
+// container), compare their sizes, read both back through the
+// format-sniffing loader, and verify a model trained on the
 // re-imported data matches one trained in-memory.
 //
 //	go run ./examples/datasetio
@@ -26,26 +27,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Export to the CSV interchange format.
-	var buf bytes.Buffer
-	if err := dataset.WriteCSV(&buf, fleet.Data); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("exported %d records (%d drives) as %.1f MB of CSV\n",
-		fleet.Data.Len(), fleet.Data.Drives(), float64(buf.Len())/1e6)
-
-	// Re-import.
-	restored, err := dataset.ReadCSV(&buf)
+	// Export to both interchange formats. The MFPAC writer streams
+	// straight from columnar frame slabs, so convert once.
+	frame, err := dataset.FrameFromDataset(fleet.Data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("re-imported %d records (%d drives)\n", restored.Len(), restored.Drives())
-	if restored.Len() != fleet.Data.Len() {
-		log.Fatalf("round trip lost records: %d vs %d", restored.Len(), fleet.Data.Len())
+	var csvBuf, pacBuf bytes.Buffer
+	if err := dataset.WriteTelemetry(&csvBuf, frame, dataset.FormatCSV); err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteTelemetry(&pacBuf, frame, dataset.FormatMFPAC); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d records (%d drives): %.1f MB CSV, %.1f MB MFPAC (%.1fx smaller)\n",
+		fleet.Data.Len(), fleet.Data.Drives(),
+		float64(csvBuf.Len())/1e6, float64(pacBuf.Len())/1e6,
+		float64(csvBuf.Len())/float64(pacBuf.Len()))
+
+	// Re-import through the format-sniffing loader: both payloads go
+	// through the same call, detected by their leading bytes.
+	restoredFrame, err := dataset.ReadTelemetry(&pacBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored := restoredFrame.ToDataset()
+	fromCSVFrame, err := dataset.ReadTelemetry(&csvBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromCSV := fromCSVFrame.ToDataset()
+	fmt.Printf("re-imported %d records (%d drives) from MFPAC, %d from CSV\n",
+		restored.Len(), restored.Drives(), fromCSV.Len())
+	if restored.Len() != fleet.Data.Len() || fromCSV.Len() != fleet.Data.Len() {
+		log.Fatalf("round trip lost records: %d/%d vs %d", restored.Len(), fromCSV.Len(), fleet.Data.Len())
 	}
 
-	// Train on both copies; the results must be identical because every
-	// pipeline stage is deterministic.
+	// Train on all three copies; the results must be identical because
+	// every pipeline stage is deterministic and both containers
+	// round-trip values bit-exactly.
 	cfg := mfpa.DefaultConfig("I")
 	_, repA, err := mfpa.Train(fleet.Data, fleet.Tickets, cfg)
 	if err != nil {
@@ -55,10 +75,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	_, repC, err := mfpa.Train(fromCSV, fleet.Tickets, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nin-memory:    TPR %.4f FPR %.4f AUC %.4f\n", repA.Eval.TPR(), repA.Eval.FPR(), repA.Eval.AUC)
-	fmt.Printf("via CSV:      TPR %.4f FPR %.4f AUC %.4f\n", repB.Eval.TPR(), repB.Eval.FPR(), repB.Eval.AUC)
-	if repA.Eval.Confusion != repB.Eval.Confusion {
+	fmt.Printf("via MFPAC:    TPR %.4f FPR %.4f AUC %.4f\n", repB.Eval.TPR(), repB.Eval.FPR(), repB.Eval.AUC)
+	fmt.Printf("via CSV:      TPR %.4f FPR %.4f AUC %.4f\n", repC.Eval.TPR(), repC.Eval.FPR(), repC.Eval.AUC)
+	if repA.Eval.Confusion != repB.Eval.Confusion || repA.Eval.Confusion != repC.Eval.Confusion {
 		log.Fatal("round-tripped data changed the model!")
 	}
-	fmt.Println("\nround trip preserved the model exactly ✓")
+	fmt.Println("\nboth round trips preserved the model exactly ✓")
 }

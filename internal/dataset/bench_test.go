@@ -1,7 +1,9 @@
 package dataset
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 )
 
@@ -63,5 +65,71 @@ func BenchmarkCumulate(b *testing.B) {
 		if err := Cumulate(c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryWrite compares the container encoders on the same
+// frame; BenchmarkTelemetryRead compares the decoders on each
+// format's own bytes.
+func BenchmarkTelemetryWrite(b *testing.B) {
+	f, err := FrameFromDataset(benchDataset(b, 200, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WriteCSVFrame(io.Discard, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"mfpac/workers=1", 1}, {"mfpac/workers=gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := WriteMFPACWorkers(io.Discard, f, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTelemetryRead(b *testing.B) {
+	f, err := FrameFromDataset(benchDataset(b, 200, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csvBuf, pacBuf bytes.Buffer
+	if err := WriteCSVFrame(&csvBuf, f); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteMFPAC(&pacBuf, f); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadCSVFrame(bytes.NewReader(csvBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"mfpac/workers=1", 1}, {"mfpac/workers=gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReadMFPACWorkers(bytes.NewReader(pacBuf.Bytes()), bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

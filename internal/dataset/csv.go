@@ -123,6 +123,9 @@ func WriteCSVFrame(w io.Writer, f *Frame) error {
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(Header())
+	// One reused row slice for the whole file; every row is parsed into
+	// a Record before the next Read, so nothing aliases it.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read header: %w", err)
@@ -162,6 +165,9 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 func ReadCSVFrame(r io.Reader) (*Frame, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(Header())
+	// The scratch record below is refilled from each row before the
+	// next Read, so the reader's row slice can be reused throughout.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read header: %w", err)

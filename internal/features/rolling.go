@@ -212,6 +212,14 @@ func (st *RollingState) advance(e *Extractor, policy dataset.GapPolicy, sn, vend
 			return x, meta, nil
 		}
 		if gap >= 2 && gap <= policy.FillGap {
+			// Mean-filling needs the previous raw record. A v1
+			// snapshot restores cumulates only (v1 predates gap
+			// policies), so a fillable gap right after such a restart
+			// cannot reproduce the offline fill — refuse rather than
+			// fabricate rows the offline pipeline would not emit.
+			if len(st.prevW) != len(w) || len(st.prevB) != len(b) {
+				return x, meta, fmt.Errorf("features: drive %s: cannot mean-fill %d-day gap: state has no previous record (v1 snapshot)", sn, gap-1)
+			}
 			// Synthesise the offline meanRecord once; it is identical
 			// for every day of the gap.
 			for i := range st.fillSmart {

@@ -20,7 +20,7 @@ func TestV1SnapshotThenFillGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewExtractor(AllFeatures, nil)
+	e, err := NewExtractor(GroupSFWB, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,5 +33,8 @@ func TestV1SnapshotThenFillGap(t *testing.T) {
 	}
 	policy := dataset.GapPolicy{DropGap: 10, FillGap: 3}
 	_, _, err = st.Advance(e, policy, &rec, make([]float64, 0, e.Width()), nil)
+	if err == nil {
+		t.Fatal("fillable gap after a v1 restore must error: the previous record needed for the mean fill is missing")
+	}
 	t.Log(err)
 }

@@ -1,0 +1,40 @@
+package ingest
+
+// Snapshot persistence: the collection agent accumulates telemetry in
+// a streaming frame builder (SnapshotInto) and periodically checkpoints
+// it to disk for upload. Checkpoints use the MFPAC binary columnar
+// container when the path says so — at fleet-upload scale the container
+// is both smaller and loads block-parallel on the training side — and
+// the CSV compat format otherwise; loading sniffs the leading bytes, so
+// either kind of file round-trips through the same call.
+
+import (
+	"os"
+
+	"repro/internal/dataset"
+)
+
+// SaveSnapshot writes frame telemetry to path: the MFPAC container
+// when the extension is .mfpac (case-insensitive), CSV otherwise.
+func SaveSnapshot(path string, f *dataset.Frame) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := dataset.WriteTelemetry(out, f, dataset.FormatForPath(path)); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// LoadSnapshot reads a telemetry checkpoint of either format, detected
+// by its leading bytes.
+func LoadSnapshot(path string) (*dataset.Frame, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return dataset.ReadTelemetry(in)
+}

@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/smartattr"
+)
+
+// collectFrame builds a small multi-day frame through the streaming
+// collector path, the same way the agent accumulates a checkpoint.
+func collectFrame(t *testing.T) *dataset.Frame {
+	t.Helper()
+	c := mustCollector(t)
+	events, _, err := ParseEventCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		c.AddEvent(ev)
+	}
+	b := dataset.NewFrameBuilder()
+	for day := 0; day < 5; day++ {
+		var v smartattr.Values
+		v.Set(smartattr.AvailableSpare, 97)
+		v.Set(smartattr.PowerOnHours, float64(1000+day*13))
+		v.Set(smartattr.MediaErrors, float64(day)/3)
+		page := smartattr.MarshalHealthLog(&v)
+		ts := c.Epoch.Add(time.Duration(day)*24*time.Hour + 20*time.Hour)
+		if err := c.SnapshotInto(b, ts, page, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Finish()
+}
+
+// TestSnapshotRoundTrip pins Save/LoadSnapshot for both on-disk
+// formats: the path extension picks the encoding, the loader detects
+// it from the leading bytes, and every record survives exactly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := collectFrame(t)
+	dir := t.TempDir()
+	for _, name := range []string{"checkpoint.mfpac", "checkpoint.csv"} {
+		path := filepath.Join(dir, name)
+		if err := SaveSnapshot(path, want); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := LoadSnapshot(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		wantD, gotD := want.ToDataset(), got.ToDataset()
+		sns := wantD.SerialNumbers()
+		if len(sns) == 0 {
+			t.Fatalf("%s: collector produced no drives", name)
+		}
+		if !reflect.DeepEqual(sns, gotD.SerialNumbers()) {
+			t.Fatalf("%s: drive sets differ after round trip", name)
+		}
+		for _, sn := range sns {
+			ws, _ := wantD.Series(sn)
+			gs, _ := gotD.Series(sn)
+			if !reflect.DeepEqual(ws, gs) {
+				t.Fatalf("%s: drive %s telemetry differs after round trip", name, sn)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package modelio
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,7 +25,9 @@ import (
 // changes so old clients fail loudly instead of mis-scoring.
 const FormatVersion = 1
 
-// Envelope is the on-the-wire form of a trained model.
+// Envelope is the on-the-wire form of a trained model. The payload
+// stays raw on the read side so the algorithm field can pick its
+// concrete type before decoding.
 type Envelope struct {
 	Version   int             `json:"version"`
 	Algorithm core.Algorithm  `json:"algorithm"`
@@ -36,14 +39,35 @@ type Envelope struct {
 	Payload   json.RawMessage `json:"payload"`
 }
 
-// Save writes a trained model to w.
+// writeEnvelope mirrors Envelope field-for-field but carries the
+// payload as the exported value itself, so Save/Marshal serialise it
+// once in place instead of marshalling to a RawMessage and then
+// re-validating those bytes inside the envelope marshal. The JSON
+// produced is byte-identical to the RawMessage form.
+type writeEnvelope struct {
+	Version   int            `json:"version"`
+	Algorithm core.Algorithm `json:"algorithm"`
+	Group     string         `json:"group"`
+	Vendor    string         `json:"vendor"`
+	Threshold float64        `json:"threshold"`
+	Width     int            `json:"width"`
+	SeqLen    int            `json:"seq_len,omitempty"`
+	Payload   any            `json:"payload"`
+}
+
+// Save writes a trained model to w through a buffered writer, so
+// envelopes stream to files in large writes instead of the encoder's
+// small fragments.
 func Save(w io.Writer, m *core.Model) error {
 	env, err := encode(m)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(env)
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(env); err != nil {
+		return fmt.Errorf("modelio: encode envelope: %w", err)
+	}
+	return bw.Flush()
 }
 
 // Marshal returns a trained model's envelope bytes.
@@ -55,7 +79,7 @@ func Marshal(m *core.Model) ([]byte, error) {
 	return json.Marshal(env)
 }
 
-func encode(m *core.Model) (*Envelope, error) {
+func encode(m *core.Model) (*writeEnvelope, error) {
 	var payload any
 	switch clf := m.Classifier.(type) {
 	case *forest.Model:
@@ -71,18 +95,14 @@ func encode(m *core.Model) (*Envelope, error) {
 	default:
 		return nil, fmt.Errorf("modelio: unsupported classifier %T", m.Classifier)
 	}
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return nil, fmt.Errorf("modelio: marshal payload: %w", err)
-	}
-	env := &Envelope{
+	env := &writeEnvelope{
 		Version:   FormatVersion,
 		Algorithm: m.Config.Algorithm,
 		Group:     m.Config.Group.String(),
 		Vendor:    m.Config.Vendor,
 		Threshold: m.Threshold,
 		Width:     m.Width,
-		Payload:   raw,
+		Payload:   payload,
 	}
 	if m.Config.Algorithm == core.AlgoCNNLSTM {
 		env.SeqLen = m.Config.SeqLen
@@ -90,10 +110,10 @@ func encode(m *core.Model) (*Envelope, error) {
 	return env, nil
 }
 
-// Load reads a model envelope from r.
+// Load reads a model envelope from r through a buffered reader.
 func Load(r io.Reader) (*core.Model, error) {
 	var env Envelope
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bufio.NewReader(r))
 	if err := dec.Decode(&env); err != nil {
 		return nil, fmt.Errorf("modelio: decode envelope: %w", err)
 	}

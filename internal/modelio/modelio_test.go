@@ -2,6 +2,7 @@ package modelio
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -149,6 +150,40 @@ func TestBatchPredictionsSurviveRoundTrip(t *testing.T) {
 			if want := restored.Predict(x); got[i] != want {
 				t.Fatalf("%s: row %d: restored batch %v != restored per-row %v", algo, i, got[i], want)
 			}
+		}
+	}
+}
+
+// TestSaveBytesMatchMarshal pins the two write paths together: Save's
+// buffered single-pass encoding must produce exactly Marshal's bytes
+// plus the encoder's trailing newline, and the inline-payload envelope
+// must match what decoding and re-encoding the RawMessage form yields.
+func TestSaveBytesMatchMarshal(t *testing.T) {
+	models := trainedModels(t)
+	for algo, m := range models {
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("%s: save: %v", algo, err)
+		}
+		if want := string(data) + "\n"; buf.String() != want {
+			t.Fatalf("%s: Save bytes differ from Marshal", algo)
+		}
+		// The envelope's payload must round-trip through RawMessage
+		// untouched: decode and re-marshal, compare bytes.
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		redone, err := json.Marshal(&env)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !bytes.Equal(data, redone) {
+			t.Fatalf("%s: envelope is not a RawMessage fixed point", algo)
 		}
 	}
 }
