@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench report
+.PHONY: build test vet lint race chaos verify bench report
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,17 @@ lint:
 # checks.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/labeling ./internal/ingest ./internal/features ./internal/sampling ./internal/core ./internal/serve ./internal/agent ./internal/fleetops
+	$(GO) test -race ./internal/parallel ./internal/simfleet ./internal/ml/... ./internal/dataset ./internal/labeling ./internal/ingest ./internal/features ./internal/sampling ./internal/core ./internal/serve ./internal/agent ./internal/fleetops ./internal/atomicio ./internal/faultinject
+
+# chaos runs the fault-tolerance suite under the race detector: seeded
+# record corruption, scorer/swap/observe fault seams, crash-safe
+# persistence, and quarantine determinism across worker/shard counts.
+chaos:
+	$(GO) test -race -run 'Chaos|Corrupt|Fault|Quarantine|Revive|Degraded|Retr|Crash|Torn|KillMidWrite|StateFile|Atomic|WriteFile|Open|Hooks' \
+		./internal/atomicio ./internal/faultinject ./internal/serve ./internal/fleetops ./internal/agent ./internal/ingest ./internal/dataset ./internal/modelio
+
+# verify is the full local gate: build, lint, unit tests, chaos suite.
+verify: build lint test chaos
 
 # Seed-commit BenchmarkForestTrain numbers (pre histogram engine),
 # measured with `git worktree add <dir> <ref>` + `go test -bench

@@ -12,7 +12,10 @@
 // The default mode replays drive by drive through per-record Observe
 // calls. -daily replays the same telemetry as the fleet service would
 // serve it: day-major batches through the incremental sharded scoring
-// engine, with -workers goroutines.
+// engine, with -workers goroutines. -chaos adds a seeded fault
+// campaign on top of -daily — corrupted records, transient batch
+// faults, scoring-backend faults — to demonstrate the quarantine and
+// degradation machinery; the same seed replays the same campaign.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/modelio"
 	"repro/internal/serve"
 )
@@ -40,6 +44,10 @@ func main() {
 		alarmAfter = flag.Int("alarm-after", 2, "consecutive flags before alarming")
 		daily      = flag.Bool("daily", false, "batched day-major sweep through the sharded scoring engine")
 		workers    = flag.Int("workers", 0, "daily-sweep scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
+		statePath  = flag.String("state", "", "agent state checkpoint: loaded at start if present, saved atomically at exit (per-record mode)")
+		chaos      = flag.Bool("chaos", false, "with -daily: run a seeded fault-injection campaign (corrupt records, transient and scoring faults)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "chaos campaign seed; the same seed replays the same faults")
+		chaosRate  = flag.Float64("chaos-rate", 0.01, "per-record corruption probability for -chaos")
 		verbose    = flag.Bool("v", false, "print every flagged observation, not just alarms")
 	)
 	flag.Parse()
@@ -48,12 +56,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	model, err := modelio.Load(mf)
-	mf.Close()
+	model, err := modelio.LoadFile(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,13 +78,28 @@ func main() {
 		model.TrainerName, model.Config.Group, model.Threshold, *alarmAfter)
 
 	if *daily {
-		runDaily(model, data, *alarmAfter, *workers, *verbose)
+		var campaign *chaosCampaign
+		if *chaos {
+			campaign = newChaosCampaign(*chaosSeed, *chaosRate)
+		}
+		runDaily(model, data, *alarmAfter, *workers, *verbose, campaign)
 		return
+	}
+	if *chaos {
+		log.Fatal("-chaos requires -daily")
 	}
 
 	ag, err := agent.New(model, agent.Options{AlarmAfter: *alarmAfter, Explain: true})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *statePath != "" {
+		if _, serr := os.Stat(*statePath); serr == nil {
+			if err := ag.LoadStateFile(*statePath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("agent: restored state from %s\n", *statePath)
+		}
 	}
 
 	drives := data.SerialNumbers()
@@ -121,13 +139,44 @@ func main() {
 		}
 	}
 	fmt.Printf("%d drives scanned, %d alarms\n", scanned, alarms)
+	if *statePath != "" {
+		if err := ag.SaveStateFile(*statePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("agent: state checkpointed to %s\n", *statePath)
+	}
+}
+
+// chaosCampaign bundles the seeded injectors for a -chaos run.
+type chaosCampaign struct {
+	corruptor *faultinject.RecordCorruptor
+	faults    *faultinject.ScorerFaults
+	corrupted int
+	retries   int
+}
+
+func newChaosCampaign(seed int64, rate float64) *chaosCampaign {
+	return &chaosCampaign{
+		corruptor: faultinject.NewRecordCorruptor(faultinject.CorruptorConfig{Seed: seed, Rate: rate}),
+		faults: faultinject.NewScorerFaults(faultinject.ScorerConfig{
+			Seed: seed, ObserveP: 0.02, ScoreP: 0.02,
+		}),
+	}
 }
 
 // runDaily replays the telemetry as a fleet service would see it
 // arrive: one day-major batch at a time through the sharded incremental
 // scorer, with alarms reported once per drive.
-func runDaily(model *core.Model, data *dataset.Dataset, alarmAfter, workers int, verbose bool) {
-	sc, err := serve.New(model, serve.Options{Workers: workers, AlarmAfter: alarmAfter})
+func runDaily(model *core.Model, data *dataset.Dataset, alarmAfter, workers int, verbose bool, campaign *chaosCampaign) {
+	opts := serve.Options{Workers: workers, AlarmAfter: alarmAfter}
+	if campaign != nil {
+		opts.Faults = serve.FaultHooks{
+			Observe: campaign.faults.Observe,
+			Score:   campaign.faults.Score,
+			Swap:    campaign.faults.Swap,
+		}
+	}
+	sc, err := serve.New(model, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,15 +201,38 @@ func runDaily(model *core.Model, data *dataset.Dataset, alarmAfter, workers int,
 
 	alarmed := make(map[string]bool)
 	scored, flagged, dropped := 0, 0, 0
+	quarantined, skipped, degradedRows := 0, 0, 0
 	for _, day := range days {
-		as, err := sc.ObserveDay(byDay[day])
+		batch := byDay[day]
+		if campaign != nil {
+			var clog []faultinject.Corruption
+			batch, clog = campaign.corruptor.Corrupt(batch)
+			campaign.corrupted += len(clog)
+		}
+		var as []serve.Assessment
+		var st serve.SweepStats
+		for attempt := 0; ; attempt++ {
+			as, st, err = sc.ObserveDay(batch)
+			if err == nil || attempt >= 3 || !faultinject.IsTransient(err) {
+				break
+			}
+			if campaign != nil {
+				campaign.retries++
+			}
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
+		quarantined += st.Quarantined
+		skipped += st.Skipped
+		degradedRows += st.Degraded
 		for i := range as {
 			a := &as[i]
 			if a.Dropped {
 				dropped++
+				continue
+			}
+			if a.Quarantined {
 				continue
 			}
 			scored++
@@ -184,4 +256,18 @@ func runDaily(model *core.Model, data *dataset.Dataset, alarmAfter, workers int,
 	}
 	fmt.Printf("%d drives swept over %d days: %d scored (%d flagged), %d dropped, %d alarms\n",
 		drives, len(days), scored, flagged, dropped, len(alarmed))
+	if campaign != nil {
+		observe, score, swap := campaign.faults.Fired()
+		fmt.Printf("chaos: %d records corrupted, %d observe faults (%d retried), %d score faults, %d swap faults\n",
+			campaign.corrupted, observe, campaign.retries, score, swap)
+		fmt.Printf("chaos: %d records quarantined their drive, %d skipped while quarantined, %d rows scored degraded\n",
+			quarantined, skipped, degradedRows)
+		ledger := sc.QuarantineReasons()
+		fmt.Printf("chaos: quarantine ledger holds %d drives\n", len(ledger))
+		if verbose {
+			for _, e := range ledger {
+				fmt.Printf("  %s day %d: %s (%s)\n", e.SerialNumber, e.Day, e.Reason, e.Err)
+			}
+		}
+	}
 }

@@ -127,7 +127,7 @@ func runServeBench(path string, scale float64) {
 		}
 		var out []serve.Assessment
 		for _, batch := range window {
-			as, err := sc.ObserveDay(batch)
+			as, _, err := sc.ObserveDay(batch)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -210,7 +210,7 @@ func runServeBench(path string, scale float64) {
 			}
 			b.StartTimer()
 			for _, batch := range window {
-				if _, err := sc.ObserveDay(batch); err != nil {
+				if _, _, err := sc.ObserveDay(batch); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -166,14 +166,7 @@ func main() {
 	}
 
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := modelio.Save(f, model); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := modelio.SaveFile(*savePath, model); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  model envelope saved to %s\n", *savePath)

@@ -1,0 +1,61 @@
+package agent
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+// fuzzModel is the cheapest valid flat model: the SMART-threshold
+// baseline classifier under the default configuration. Fuzzing
+// exercises the state decoder, not the classifier, so no training is
+// needed.
+func fuzzModel(tb testing.TB) *core.Model {
+	tb.Helper()
+	return &core.Model{
+		Config:     core.DefaultConfig("I"),
+		Classifier: baselines.ThresholdDetector{},
+		Threshold:  0.5,
+	}
+}
+
+// FuzzLoadState pins the recovery contract of the state-v2 decoder: a
+// state file is adversarial input (torn by a crash, hand-edited, or
+// bit-flipped on a dying disk), so arbitrary bytes must produce an
+// error — never a panic — and a successful load must round-trip back
+// through SaveState.
+func FuzzLoadState(f *testing.F) {
+	// A genuine checkpoint as the seed the mutator works from.
+	a, err := New(fuzzModel(f), Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var genuine bytes.Buffer
+	if err := a.SaveState(&genuine); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine.Bytes())
+	f.Add([]byte(`{"version":2,"group":"SFWB","drives":{}}`))
+	f.Add([]byte(`{"version":2,"group":"SFWB","drives":{"D1":{"rolling":{"last_day":3},"consecutive":1}}}`))
+	f.Add([]byte(`{"version":1,"group":"SFWB","drives":{"D1":{"last_day":2,"observed":3}}}`))
+	f.Add(genuine.Bytes()[:genuine.Len()/2]) // torn checkpoint
+	f.Add([]byte(`{"version":2,"group":"SFWB","drives":{"":{}}}`))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := New(fuzzModel(t), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.LoadState(bytes.NewReader(data)); err != nil {
+			return // rejected cleanly — the only acceptable failure mode
+		}
+		// Accepted states must save again without error.
+		if err := a.SaveState(bytes.NewBuffer(nil)); err != nil {
+			t.Fatalf("accepted state cannot be re-saved: %v", err)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/atomicio"
 	"repro/internal/features"
 )
 
@@ -59,6 +60,24 @@ func (a *Agent) SaveState(w io.Writer) error {
 		}
 	}
 	return json.NewEncoder(w).Encode(&out)
+}
+
+// SaveStateFile atomically checkpoints the agent's state to path:
+// staged in a same-directory temp file, fsynced, and renamed into
+// place, so the machine powering off mid-save — the normal consumer
+// failure mode — leaves the previous checkpoint intact.
+func (a *Agent) SaveStateFile(path string) error {
+	return atomicio.WriteFile(path, a.SaveState)
+}
+
+// LoadStateFile restores state from a SaveStateFile checkpoint.
+func (a *Agent) LoadStateFile(path string) error {
+	f, err := atomicio.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.LoadState(f)
 }
 
 // LoadState restores per-drive state saved by SaveState. The feature

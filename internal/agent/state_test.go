@@ -2,9 +2,92 @@ package agent
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
 )
+
+// TestStateFileCheckpointCrashSafe: SaveStateFile is the power-loss
+// path — a checkpoint killed mid-write must leave the previous file
+// intact, and LoadStateFile of the survivor must restore the agent.
+func TestStateFileCheckpointCrashSafe(t *testing.T) {
+	fleet, model := setup(t)
+
+	// Accumulate the whole vendor fleet so the checkpoint comfortably
+	// exceeds the injector's short-write window (≤ 4 KiB).
+	a, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Data.Each(func(s *dataset.DriveSeries) {
+		if s.Vendor != "I" {
+			return
+		}
+		for i := range s.Records {
+			if _, err := a.Observe(s.Records[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	path := filepath.Join(t.TempDir(), "agent.state")
+	if err := a.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) <= 4096 {
+		t.Fatalf("checkpoint only %d bytes; too small to outrun the injector", len(good))
+	}
+
+	// Kill subsequent checkpoints mid-write and at the publish step;
+	// the good checkpoint must survive both.
+	io := faultinject.NewIOFaults(faultinject.IOConfig{Seed: 3, ShortWriteP: 1})
+	restore := atomicio.SetHooks(io.Hooks())
+	err = a.SaveStateFile(path)
+	restore()
+	if err == nil {
+		t.Fatal("killed checkpoint reported success")
+	}
+	io = faultinject.NewIOFaults(faultinject.IOConfig{Seed: 3, RenameFailP: 1})
+	restore = atomicio.SetHooks(io.Hooks())
+	if err := a.SaveStateFile(path); err == nil {
+		restore()
+		t.Fatal("blocked publish reported success")
+	}
+	restore()
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Fatal("crashed checkpoints disturbed the good state file")
+	}
+
+	restored, err := New(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var orig, back bytes.Buffer
+	if err := a.SaveState(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.SaveState(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), back.Bytes()) {
+		t.Fatal("restored agent state differs from the saved one")
+	}
+}
 
 func TestStateSurvivesRestart(t *testing.T) {
 	fleet, model := setup(t)

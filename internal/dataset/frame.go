@@ -374,6 +374,9 @@ func (b *FrameBuilder) AppendRow(sn, vendor, model string, day int, fw firmware.
 	if bc != nil && len(bc) != bWidth {
 		return fmt.Errorf("dataset: record %s has %d B counters, want %d", sn, len(bc), bWidth)
 	}
+	if err := validateValues(sn, smart[:], w, bc); err != nil {
+		return err
+	}
 	f := b.f
 	var row int
 	if b.cur >= 0 && f.drives[b.cur].SerialNumber == sn {

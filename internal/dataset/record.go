@@ -7,7 +7,9 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/bsod"
 	"repro/internal/firmware"
@@ -59,7 +61,49 @@ func (r *Record) Clone() Record {
 	return c
 }
 
-// Validate performs basic sanity checks on a record.
+// ErrNonFinite reports a NaN or ±Inf telemetry value. Collectors feed
+// raw bytes from flaky firmware and transport layers, so a non-finite
+// value is treated as corruption, never as data.
+var ErrNonFinite = errors.New("dataset: non-finite telemetry value")
+
+// ErrNegativeCounter reports a negative daily event count — counts are
+// tallies, so a negative value can only be corruption (bit flips,
+// truncated parses, integer underflow upstream).
+var ErrNegativeCounter = errors.New("dataset: negative event counter")
+
+// validateValues scans one observation's numeric payload: SMART values
+// must be finite, W/B daily counts must be finite and non-negative.
+// Errors wrap the typed sentinels so callers can classify corruption
+// without string matching.
+func validateValues(sn string, smart, w, b []float64) error {
+	for i, v := range smart {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: record %s SMART[%d] = %v", ErrNonFinite, sn, i, v)
+		}
+	}
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: record %s W[%d] = %v", ErrNonFinite, sn, i, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: record %s W[%d] = %v", ErrNegativeCounter, sn, i, v)
+		}
+	}
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: record %s B[%d] = %v", ErrNonFinite, sn, i, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: record %s B[%d] = %v", ErrNegativeCounter, sn, i, v)
+		}
+	}
+	return nil
+}
+
+// Validate performs sanity checks on a record: identity and shape, plus
+// value-level corruption checks (no NaN/Inf SMART or event values, no
+// negative event counters). Value errors wrap ErrNonFinite /
+// ErrNegativeCounter.
 func (r *Record) Validate() error {
 	if r.SerialNumber == "" {
 		return fmt.Errorf("dataset: record has empty serial number")
@@ -73,5 +117,5 @@ func (r *Record) Validate() error {
 	if len(r.BCounts) != bsod.Count() {
 		return fmt.Errorf("dataset: record %s has %d B counters, want %d", r.SerialNumber, len(r.BCounts), bsod.Count())
 	}
-	return nil
+	return validateValues(r.SerialNumber, r.Smart[:], r.WCounts, r.BCounts)
 }

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// CorruptKind enumerates the telemetry corruptions a buggy collector
+// produces in the field.
+type CorruptKind uint8
+
+const (
+	// KindNaNSmart poisons one SMART attribute with NaN.
+	KindNaNSmart CorruptKind = iota
+	// KindInfSmart poisons one SMART attribute with ±Inf.
+	KindInfSmart
+	// KindNegativeW flips one Windows-event daily count negative.
+	KindNegativeW
+	// KindNegativeB flips one stop-code daily count negative.
+	KindNegativeB
+	// KindDuplicateDay re-emits the record a second time for the same
+	// day, as a stuttering uploader would.
+	KindDuplicateDay
+	// KindOutOfOrderDay rewinds the record's day index, as a clock
+	// step or delayed upload would.
+	KindOutOfOrderDay
+	numCorruptKinds
+)
+
+// String names the kind for chaos-run reports.
+func (k CorruptKind) String() string {
+	switch k {
+	case KindNaNSmart:
+		return "nan-smart"
+	case KindInfSmart:
+		return "inf-smart"
+	case KindNegativeW:
+		return "negative-w"
+	case KindNegativeB:
+		return "negative-b"
+	case KindDuplicateDay:
+		return "duplicate-day"
+	case KindOutOfOrderDay:
+		return "out-of-order-day"
+	default:
+		return "unknown"
+	}
+}
+
+// Corruption logs one injected telemetry corruption, keyed by the
+// drive and day it hit so chaos assertions can partition the fleet
+// into touched and untouched drives.
+type Corruption struct {
+	SerialNumber string
+	Day          int
+	Kind         CorruptKind
+}
+
+// CorruptorConfig configures a RecordCorruptor.
+type CorruptorConfig struct {
+	// Seed makes the corruption campaign replayable.
+	Seed int64
+	// Rate is the per-record corruption probability in [0,1].
+	Rate float64
+	// Kinds restricts injection to a subset; nil enables every kind.
+	Kinds []CorruptKind
+}
+
+// RecordCorruptor deterministically mangles a stream of telemetry
+// batches. Corrupt never mutates its input: affected records are
+// deep-copied before poisoning, so the caller can score the clean and
+// corrupted feeds side by side from the same backing data.
+type RecordCorruptor struct {
+	rng   *rand.Rand
+	rate  float64
+	kinds []CorruptKind
+}
+
+// NewRecordCorruptor builds a seeded corruptor.
+func NewRecordCorruptor(cfg CorruptorConfig) *RecordCorruptor {
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		for k := CorruptKind(0); k < numCorruptKinds; k++ {
+			kinds = append(kinds, k)
+		}
+	}
+	return &RecordCorruptor{
+		rng:   opRNG(cfg.Seed, "records"),
+		rate:  cfg.Rate,
+		kinds: kinds,
+	}
+}
+
+// Corrupt applies the campaign to one batch and returns the corrupted
+// batch plus the log of what was injected. The input slice and its
+// records are never modified; duplicated days lengthen the output.
+func (c *RecordCorruptor) Corrupt(recs []dataset.Record) ([]dataset.Record, []Corruption) {
+	out := make([]dataset.Record, 0, len(recs))
+	var log []Corruption
+	for i := range recs {
+		// One draw per input record, whatever happens, so the schedule
+		// depends only on record position.
+		hit := c.rng.Float64() < c.rate
+		kindDraw := c.rng.Intn(len(c.kinds))
+		if !hit {
+			out = append(out, recs[i])
+			continue
+		}
+		kind := c.kinds[kindDraw]
+		bad := recs[i].Clone()
+		switch kind {
+		case KindNaNSmart:
+			bad.Smart[c.rng.Intn(len(bad.Smart))] = math.NaN()
+		case KindInfSmart:
+			bad.Smart[c.rng.Intn(len(bad.Smart))] = math.Inf(1 - 2*c.rng.Intn(2))
+		case KindNegativeW:
+			if len(bad.WCounts) > 0 {
+				bad.WCounts[c.rng.Intn(len(bad.WCounts))] = -1 - float64(c.rng.Intn(100))
+			}
+		case KindNegativeB:
+			if len(bad.BCounts) > 0 {
+				bad.BCounts[c.rng.Intn(len(bad.BCounts))] = -1 - float64(c.rng.Intn(100))
+			}
+		case KindDuplicateDay:
+			// The original record stays valid; the duplicate that
+			// follows violates day monotonicity.
+			out = append(out, recs[i])
+		case KindOutOfOrderDay:
+			bad.Day -= 1 + c.rng.Intn(3)
+		}
+		out = append(out, bad)
+		log = append(log, Corruption{SerialNumber: recs[i].SerialNumber, Day: recs[i].Day, Kind: kind})
+	}
+	return out, log
+}

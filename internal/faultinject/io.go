@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+
+	"repro/internal/atomicio"
+)
+
+// IOConfig configures checkpoint-persistence fault injection. A zero
+// probability disables that fault.
+type IOConfig struct {
+	// Seed makes the fault schedule replayable.
+	Seed int64
+	// ShortWriteP is the per-WriteFile probability that the staged
+	// write is cut off partway (simulating crash / disk full).
+	ShortWriteP float64
+	// RenameFailP is the per-WriteFile probability that the publishing
+	// rename fails (simulating a crash between stage and publish).
+	RenameFailP float64
+	// TruncateReadP is the per-Open probability that the stream is
+	// truncated partway (simulating a torn download or bad sector).
+	TruncateReadP float64
+}
+
+// IOFaults derives atomicio.Hooks from a seeded schedule. Install with
+// atomicio.SetHooks(f.Hooks()) and restore afterwards.
+type IOFaults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg IOConfig
+
+	// ShortWrites, RenameFails, TruncatedReads count injected faults.
+	ShortWrites, RenameFails, TruncatedReads int
+}
+
+// NewIOFaults builds a seeded I/O fault injector.
+func NewIOFaults(cfg IOConfig) *IOFaults {
+	return &IOFaults{rng: opRNG(cfg.Seed, "io"), cfg: cfg}
+}
+
+// Hooks returns the atomicio fault seam backed by this injector.
+func (f *IOFaults) Hooks() *atomicio.Hooks {
+	return &atomicio.Hooks{
+		WrapWriter:   f.wrapWriter,
+		BeforeRename: f.beforeRename,
+		WrapReader:   f.wrapReader,
+	}
+}
+
+func (f *IOFaults) wrapWriter(w io.Writer) io.Writer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() >= f.cfg.ShortWriteP {
+		return w
+	}
+	f.ShortWrites++
+	// Fail after a seeded number of bytes, so some payloads die on the
+	// first flush and some nearly complete.
+	return &shortWriter{w: w, remaining: 1 + f.rng.Intn(4096)}
+}
+
+func (f *IOFaults) beforeRename(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() >= f.cfg.RenameFailP {
+		return nil
+	}
+	f.RenameFails++
+	return &Error{Op: "rename", Call: f.RenameFails, Retryable: true}
+}
+
+func (f *IOFaults) wrapReader(r io.Reader) io.Reader {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() >= f.cfg.TruncateReadP {
+		return r
+	}
+	f.TruncatedReads++
+	return io.LimitReader(r, int64(f.rng.Intn(4096)))
+}
+
+// shortWriter forwards up to remaining bytes, then fails — the staged
+// file ends mid-payload exactly as a crash would leave it.
+type shortWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.remaining <= 0 {
+		return 0, &Error{Op: "write", Retryable: true}
+	}
+	n := len(p)
+	if n > s.remaining {
+		n = s.remaining
+	}
+	n, err := s.w.Write(p[:n])
+	s.remaining -= n
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		return n, &Error{Op: "write", Retryable: true}
+	}
+	return n, nil
+}

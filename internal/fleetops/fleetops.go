@@ -7,9 +7,11 @@
 package fleetops
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -27,6 +29,13 @@ type Options struct {
 	// IterationDays is the re-training cadence; 0 selects 60 (the
 	// paper's two months).
 	IterationDays int
+	// MaxRetries bounds the extra attempts made when a sweep or model
+	// swap fails transiently (errors declaring Transient() bool); 0
+	// selects 2, negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 selects 10ms.
+	RetryBackoff time.Duration
 }
 
 // IterationRecord is one completed training of a vendor model.
@@ -55,6 +64,8 @@ type Service struct {
 	mu            sync.Mutex
 	template      core.Config
 	iterationDays int
+	maxRetries    int
+	retryBackoff  time.Duration
 	vendors       map[string]*vendorState
 }
 
@@ -66,6 +77,17 @@ func New(opts Options) (*Service, error) {
 	}
 	if iter < 1 {
 		return nil, fmt.Errorf("fleetops: IterationDays %d must be ≥ 1", iter)
+	}
+	retries := opts.MaxRetries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff == 0 {
+		backoff = 10 * time.Millisecond
 	}
 	tpl := opts.Template
 	tpl.Vendor = ""
@@ -79,8 +101,34 @@ func New(opts Options) (*Service, error) {
 	return &Service{
 		template:      tpl,
 		iterationDays: iter,
+		maxRetries:    retries,
+		retryBackoff:  backoff,
 		vendors:       make(map[string]*vendorState),
 	}, nil
+}
+
+// isTransient reports whether err (or anything it wraps) declares
+// itself retryable via a Transient() bool method — the structural
+// contract injected faults and transport errors share, so fleetops
+// never needs to import their packages.
+func isTransient(err error) bool {
+	var te interface{ Transient() bool }
+	return errors.As(err, &te) && te.Transient()
+}
+
+// retryTransient runs fn up to 1+s.maxRetries times with exponential
+// backoff, retrying only while the error stays transient. It returns
+// the number of retries consumed alongside fn's final error.
+func (s *Service) retryTransient(fn func() error) (retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= s.maxRetries || !isTransient(err) {
+			return attempt, err
+		}
+		if s.retryBackoff > 0 {
+			time.Sleep(s.retryBackoff << attempt)
+		}
+	}
 }
 
 // Train (re-)trains the vendor's model as of asOfDay: only telemetry
@@ -109,16 +157,19 @@ func (s *Service) Train(data *dataset.Dataset, tickets *ticket.Store, vendor str
 		st = &vendorState{}
 		s.vendors[vendor] = st
 	}
-	st.model = model
-	st.history = append(st.history, rec)
 	if st.scorer != nil {
 		// The sweep scorer keeps its accumulated drive state across
 		// iterations; only the model swaps (the template's group never
-		// changes, so the state stays valid).
-		if err := st.scorer.UpdateModel(model); err != nil {
+		// changes, so the state stays valid). Transient swap failures
+		// are retried; a persistent failure leaves the previous model
+		// both serving and published, so the fleet never sees a
+		// half-deployed iteration.
+		if _, err := s.retryTransient(func() error { return st.scorer.UpdateModel(model) }); err != nil {
 			return rec, fmt.Errorf("fleetops: vendor %s: %w", vendor, err)
 		}
 	}
+	st.model = model
+	st.history = append(st.history, rec)
 	return rec, nil
 }
 

@@ -30,6 +30,16 @@ type SweepStats struct {
 	// NoModel counts records skipped because their vendor has no
 	// trained model yet.
 	NoModel int
+	// Quarantined counts records that newly quarantined their drive;
+	// Skipped counts records consumed while their drive was already
+	// quarantined.
+	Quarantined int
+	Skipped     int
+	// Degraded counts rows scored by a vendor's fallback detector
+	// because its scoring backend failed for the day.
+	Degraded int
+	// Retries counts transient batch failures that were retried away.
+	Retries int
 }
 
 // EnsureScorer returns the vendor's sweep scorer, creating it from the
@@ -80,6 +90,12 @@ func (s *Service) Bootstrap(f *dataset.Frame, vendor string, opts serve.Options)
 // back grouped by vendor in lexicographic vendor order, input order
 // within a vendor — deterministic at any worker count. Records of
 // vendors without a trained model are counted in stats and skipped.
+//
+// Transient batch failures (ObserveDay faults fire before any state
+// mutates) are retried up to Options.MaxRetries times with exponential
+// backoff; corrupt records quarantine their drive inside the scorer
+// rather than failing the sweep, so an error return means a vendor's
+// whole batch was persistently unscorable.
 func (s *Service) SweepDay(recs []dataset.Record, opts serve.Options) ([]serve.Assessment, SweepStats, error) {
 	var stats SweepStats
 	byVendor := make(map[string][]dataset.Record)
@@ -101,14 +117,26 @@ func (s *Service) SweepDay(recs []dataset.Record, opts serve.Options) ([]serve.A
 			stats.NoModel += len(batch)
 			continue
 		}
-		as, err := sc.ObserveDay(batch)
+		var as []serve.Assessment
+		var sst serve.SweepStats
+		retries, err := s.retryTransient(func() error {
+			var oerr error
+			as, sst, oerr = sc.ObserveDay(batch)
+			return oerr
+		})
+		stats.Retries += retries
 		if err != nil {
 			return nil, stats, fmt.Errorf("fleetops: vendor %s sweep: %w", v, err)
 		}
 		stats.Records += len(batch)
+		stats.Quarantined += sst.Quarantined
+		stats.Skipped += sst.Skipped
+		stats.Degraded += sst.Degraded
 		for i := range as {
-			if as[i].Dropped {
-				stats.Dropped++
+			if as[i].Dropped || as[i].Quarantined {
+				if as[i].Dropped {
+					stats.Dropped++
+				}
 				continue
 			}
 			stats.Scored++

@@ -9,29 +9,27 @@ package ingest
 // either kind of file round-trips through the same call.
 
 import (
-	"os"
+	"io"
 
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
 )
 
 // SaveSnapshot writes frame telemetry to path: the MFPAC container
-// when the extension is .mfpac (case-insensitive), CSV otherwise.
+// when the extension is .mfpac (case-insensitive), CSV otherwise. The
+// write is atomic — staged in a same-directory temp file, fsynced, and
+// renamed into place — so a crash mid-checkpoint leaves the previous
+// snapshot intact instead of a torn file.
 func SaveSnapshot(path string, f *dataset.Frame) error {
-	out, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer out.Close()
-	if err := dataset.WriteTelemetry(out, f, dataset.FormatForPath(path)); err != nil {
-		return err
-	}
-	return out.Close()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return dataset.WriteTelemetry(w, f, dataset.FormatForPath(path))
+	})
 }
 
 // LoadSnapshot reads a telemetry checkpoint of either format, detected
 // by its leading bytes.
 func LoadSnapshot(path string) (*dataset.Frame, error) {
-	in, err := os.Open(path)
+	in, err := atomicio.Open(path)
 	if err != nil {
 		return nil, err
 	}

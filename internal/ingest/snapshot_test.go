@@ -1,13 +1,16 @@
 package ingest
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/smartattr"
 )
 
@@ -67,6 +70,96 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			if !reflect.DeepEqual(ws, gs) {
 				t.Fatalf("%s: drive %s telemetry differs after round trip", name, sn)
 			}
+		}
+	}
+}
+
+// bigFrame builds a checkpoint comfortably larger than the injector's
+// short-write/truncation window (≤ 4 KiB), so every fault fires
+// mid-payload.
+func bigFrame(t *testing.T) *dataset.Frame {
+	t.Helper()
+	b := dataset.NewFrameBuilder()
+	for d := 0; d < 40; d++ {
+		sn := "T-" + strings.Repeat("0", 2) + string(rune('A'+d%26)) + string(rune('A'+d/26))
+		for day := 0; day < 30; day++ {
+			var v smartattr.Values
+			v.Set(smartattr.PowerOnHours, float64(1000+day*13+d))
+			v.Set(smartattr.MediaErrors, float64((day*7+d*3)%11))
+			v.Set(smartattr.AvailableSpare, float64(100-day%5))
+			if err := b.AppendRow(sn, "I", "M", day, "1.0.0", &v, nil, nil, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// TestSnapshotKillMidWrite: a checkpoint write that dies partway —
+// power loss mid-save, the normal consumer failure mode — must leave
+// the previous checkpoint loadable and byte-for-byte intact.
+func TestSnapshotKillMidWrite(t *testing.T) {
+	frame := bigFrame(t)
+	for _, name := range []string{"checkpoint.mfpac", "checkpoint.csv"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveSnapshot(path, frame); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		wantBytes, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Kill every subsequent write partway with the seeded I/O
+		// injector; whatever the cut-off point, the published file must
+		// stay the good version.
+		io := faultinject.NewIOFaults(faultinject.IOConfig{Seed: 7, ShortWriteP: 1})
+		restore := atomicio.SetHooks(io.Hooks())
+		for i := 0; i < 5; i++ {
+			if err := SaveSnapshot(path, frame); err == nil {
+				restore()
+				t.Fatalf("%s: short write %d not surfaced", name, i)
+			}
+		}
+		restore()
+		if io.ShortWrites != 5 {
+			t.Fatalf("%s: injector fired %d short writes, want 5", name, io.ShortWrites)
+		}
+		gotBytes, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotBytes, wantBytes) {
+			t.Fatalf("%s: checkpoint corrupted by killed writes", name)
+		}
+		if _, err := LoadSnapshot(path); err != nil {
+			t.Fatalf("%s: surviving checkpoint unloadable: %v", name, err)
+		}
+	}
+}
+
+// TestSnapshotTornReadRecovers: a truncated read of a checkpoint must
+// surface as an error, not a short silently-accepted frame.
+func TestSnapshotTornReadRecovers(t *testing.T) {
+	frame := bigFrame(t)
+	for _, name := range []string{"checkpoint.mfpac", "checkpoint.csv"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveSnapshot(path, frame); err != nil {
+			t.Fatal(err)
+		}
+		io := faultinject.NewIOFaults(faultinject.IOConfig{Seed: 11, TruncateReadP: 1})
+		restore := atomicio.SetHooks(io.Hooks())
+		_, err := LoadSnapshot(path)
+		restore()
+		if io.TruncatedReads != 1 {
+			t.Fatalf("%s: injector truncated %d reads, want 1", name, io.TruncatedReads)
+		}
+		if err == nil {
+			t.Fatalf("%s: torn read accepted", name)
+		}
+		// The file itself is fine: a retry without the fault succeeds.
+		if _, err := LoadSnapshot(path); err != nil {
+			t.Fatalf("%s: recovery load failed: %v", name, err)
 		}
 	}
 }

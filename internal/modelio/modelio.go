@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/ml"
@@ -77,6 +78,24 @@ func Marshal(m *core.Model) ([]byte, error) {
 		return nil, err
 	}
 	return json.Marshal(env)
+}
+
+// SaveFile atomically replaces path with the model's envelope: the
+// bytes are staged in a same-directory temp file, fsynced, and renamed
+// into place, so a crash mid-save leaves the previously published
+// model intact rather than a torn envelope that clients reject.
+func SaveFile(path string, m *core.Model) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error { return Save(w, m) })
+}
+
+// LoadFile reads a model envelope from path.
+func LoadFile(path string) (*core.Model, error) {
+	f, err := atomicio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 func encode(m *core.Model) (*writeEnvelope, error) {

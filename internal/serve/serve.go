@@ -10,14 +10,26 @@
 // scores are bit-identical to the offline
 // CleanDiscontinuity→Cumulate→extract pipeline at any worker or shard
 // count.
+//
+// Production telemetry is messy, so the scorer is fail-soft, not
+// fail-stop. A record that fails validation or feature extraction
+// quarantines that drive — with a typed reason — instead of aborting
+// the fleet sweep; the rest of the day scores bit-identically to a run
+// that never saw the bad record. A scoring-backend failure degrades
+// the day onto the vendor SMART-threshold detector instead of losing
+// it, and the scorer recovers by itself on the next healthy sweep.
+// Quarantine decisions are made per drive in input order, so the
+// ledger is deterministic at any worker or shard count.
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"sort"
 	"sync"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/features"
@@ -25,6 +37,22 @@ import (
 	"repro/internal/ml"
 	"repro/internal/parallel"
 )
+
+// FaultHooks are the scorer's error seams for deterministic fault
+// injection (see internal/faultinject). All fields are optional; the
+// zero value disables injection and restores the exact production
+// path.
+type FaultHooks struct {
+	// Observe runs at the top of ObserveDay, before any state mutates;
+	// an error fails the whole batch transiently (safe to retry).
+	Observe func() error
+	// Score runs before the day's batch-scoring call; an error forces
+	// the day onto the degraded fallback detector.
+	Score func() error
+	// Swap runs at the top of UpdateModel; an error fails the swap and
+	// keeps the current model serving.
+	Swap func() error
+}
 
 // Options configures a Scorer.
 type Options struct {
@@ -46,14 +74,94 @@ type Options struct {
 	// Registries supplies per-vendor firmware ladders; nil falls back
 	// to first-seen-order encoding.
 	Registries map[string]*firmware.Registry
+	// StrictFirmware quarantines records whose firmware version is
+	// absent from their vendor's registry instead of minting a
+	// first-seen code — the right setting when registries are complete
+	// and an unknown version means a corrupt or spoofed record.
+	// Vendors without a registry are never strict-checked.
+	StrictFirmware bool
+	// Faults injects deterministic failures for chaos testing; the
+	// zero value disables injection.
+	Faults FaultHooks
+}
+
+// QuarantineReason classifies why a drive was quarantined.
+type QuarantineReason uint8
+
+const (
+	// QuarantineNone marks a healthy drive.
+	QuarantineNone QuarantineReason = iota
+	// QuarantineBadRecord is a malformed record: empty serial, negative
+	// day, or wrong counter widths.
+	QuarantineBadRecord
+	// QuarantineBadValue is value-level corruption: NaN/Inf telemetry
+	// or feature values, or negative event counters.
+	QuarantineBadValue
+	// QuarantineRollingError is a rolling-state failure: out-of-order
+	// or duplicate days, changed counter widths, or an unfillable gap.
+	QuarantineRollingError
+	// QuarantineUnknownFirmware is a firmware version absent from the
+	// vendor's registry under Options.StrictFirmware.
+	QuarantineUnknownFirmware
+)
+
+// String names the reason for ledgers and logs.
+func (r QuarantineReason) String() string {
+	switch r {
+	case QuarantineNone:
+		return "none"
+	case QuarantineBadRecord:
+		return "bad-record"
+	case QuarantineBadValue:
+		return "bad-value"
+	case QuarantineRollingError:
+		return "rolling-error"
+	case QuarantineUnknownFirmware:
+		return "unknown-firmware"
+	default:
+		return "unknown"
+	}
+}
+
+// QuarantineEntry is one drive's quarantine ledger entry.
+type QuarantineEntry struct {
+	// SerialNumber identifies the quarantined drive.
+	SerialNumber string
+	// Day is the day of the record that triggered the quarantine.
+	Day int
+	// Reason classifies the trigger.
+	Reason QuarantineReason
+	// Err is the underlying error text.
+	Err string
+}
+
+// SweepStats summarises one ObserveDay batch.
+type SweepStats struct {
+	// Records is how many input records the batch carried.
+	Records int
+	// Scored is how many feature rows were scored (mean-filled days
+	// included).
+	Scored int
+	// Dropped counts records of gap-policy-excluded drives.
+	Dropped int
+	// Quarantined counts records that newly quarantined their drive
+	// this batch.
+	Quarantined int
+	// Skipped counts records consumed while their drive was already
+	// quarantined.
+	Skipped int
+	// Degraded is how many rows were scored by the fallback detector
+	// because the scoring backend failed (0 on healthy days).
+	Degraded int
 }
 
 // Assessment is the outcome of scoring one emitted drive-day row (or
-// one consumed record of a dropped drive).
+// one consumed record of a dropped or quarantined drive).
 type Assessment struct {
 	SerialNumber string
 	Day          int
-	// Probability is the model's P(faulty); meaningless when Dropped.
+	// Probability is the model's P(faulty); meaningless when Dropped
+	// or Quarantined.
 	Probability float64
 	// Flagged reports Probability ≥ the model's threshold.
 	Flagged bool
@@ -66,14 +174,23 @@ type Assessment struct {
 	// Dropped reports the drive was excluded by the gap policy (the
 	// offline pipeline would not score it); no probability is attached.
 	Dropped bool
+	// Quarantined reports the record was rejected (or its drive was
+	// already quarantined); no probability is attached. The scorer's
+	// ledger carries the typed reason.
+	Quarantined bool
+	// Degraded reports the probability came from the fallback
+	// SMART-threshold detector because the scoring backend failed.
+	Degraded bool
 }
 
-// driveRoll is one drive's serving state: the rolling feature state
-// plus alarm hysteresis.
+// driveRoll is one drive's serving state: the rolling feature state,
+// alarm hysteresis, and its quarantine entry (Reason ==
+// QuarantineNone while healthy).
 type driveRoll struct {
 	roll        *features.RollingState
 	consecutive int
 	alarmed     bool
+	q           QuarantineEntry
 }
 
 // shard owns a disjoint subset of the fleet's drives plus the pooled
@@ -85,14 +202,26 @@ type shard struct {
 	x      []float64
 	meta   []features.EmittedRow
 	rowOff int // row offset of this shard within the day's arena
+	stats  SweepStats
 }
+
+// planKind classifies one input record's outcome.
+type planKind int8
+
+const (
+	planRows    planKind = iota // emitted ≥1 scored feature rows
+	planDropped                 // gap-policy-excluded drive
+	planQuar                    // record newly quarantined its drive
+	planSkip                    // drive was already quarantined
+)
 
 // recPlan locates one input record's emitted rows inside its shard.
 type recPlan struct {
 	shard  int32
 	rowOff int32 // rows before this record within the shard
-	rows   int32 // emitted rows (0 = dropped drive)
+	rows   int32 // emitted rows
 	outOff int32 // offset into the output slice
+	kind   planKind
 }
 
 // Scorer scores fleet telemetry day batches against a deployed model.
@@ -106,6 +235,10 @@ type Scorer struct {
 	alarmAfter int
 	workers    int
 	registries map[string]*firmware.Registry
+	strictFW   bool
+	faults     FaultHooks
+	fallback   ml.Classifier // degraded-mode detector; nil when the group lacks SMART
+	degraded   bool          // last scored batch used the fallback
 
 	seed   maphash.Seed
 	shards []shard
@@ -114,8 +247,6 @@ type Scorer struct {
 	plans  []recPlan
 	xs     [][]float64
 	scores []float64
-	errIdx []int // per-shard index of the first failing record, -1 = none
-	errs   []error
 }
 
 // New builds a scorer around a deployed model.
@@ -165,10 +296,15 @@ func New(model *core.Model, opts Options) (*Scorer, error) {
 		alarmAfter: alarmAfter,
 		workers:    opts.Workers,
 		registries: opts.Registries,
+		strictFW:   opts.StrictFirmware,
+		faults:     opts.Faults,
 		seed:       maphash.MakeSeed(),
 		shards:     make([]shard, nshards),
-		errIdx:     make([]int, nshards),
-		errs:       make([]error, nshards),
+	}
+	if model.Config.Group.SMART {
+		// Feature rows lead with the 16 SMART attributes, exactly the
+		// view the vendor threshold detector expects.
+		s.fallback = baselines.ThresholdDetector{}
 	}
 	for i := range s.shards {
 		s.shards[i].drives = make(map[string]*driveRoll)
@@ -196,48 +332,113 @@ func (sh *shard) rollFor(sn string) *driveRoll {
 	return dr
 }
 
+// quarantineReasonFor classifies a validation error: value-level
+// corruption carries the dataset sentinels, everything else is a
+// malformed record.
+func quarantineReasonFor(err error) QuarantineReason {
+	if errors.Is(err, dataset.ErrNonFinite) || errors.Is(err, dataset.ErrNegativeCounter) {
+		return QuarantineBadValue
+	}
+	return QuarantineBadRecord
+}
+
+// finiteRows reports whether every value in rows is finite. NaN and
+// ±Inf compare unequal to themselves under subtraction tricks, but the
+// plain self-comparison plus range check is clearest.
+func finiteRows(rows []float64) bool {
+	for _, v := range rows {
+		if v != v || v > maxFinite || v < -maxFinite {
+			return false
+		}
+	}
+	return true
+}
+
+const maxFinite = 1.7976931348623157e308 // math.MaxFloat64
+
 // ObserveDay ingests one day of raw (daily-count) fleet telemetry and
 // returns one assessment per emitted feature row — mean-filled days
-// precede their record's own day — plus one Dropped entry per record
-// whose drive the gap policy has excluded. Results are in input-record
-// order and identical at any Workers/Shards setting.
+// precede their record's own day — plus one entry per record whose
+// drive was dropped by the gap policy, quarantined, or skipped because
+// its drive was already quarantined. Results are in input-record order
+// and identical at any Workers/Shards setting, and the per-batch
+// SweepStats account for every input record.
 //
 // The batch does not need to share a literal calendar day; any set of
 // records is accepted as long as each drive's records arrive in
-// chronological order (within and across calls). On error, records
-// preceding the failure (and records of other shards) may already have
-// advanced their drives' state, exactly as a serial per-record loop
-// that failed midway would have.
-func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
+// chronological order (within and across calls). A record that fails
+// validation or extraction quarantines that drive only — the rest of
+// the fleet scores bit-identically to a batch that never carried the
+// bad record. The only error return is the injected transient observe
+// fault, which fires before any state mutates, so a failed call is
+// safe to retry with the same batch.
+func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, SweepStats, error) {
+	var stats SweepStats
 	if len(recs) == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.faults.Observe != nil {
+		if err := s.faults.Observe(); err != nil {
+			return nil, stats, fmt.Errorf("serve: observe batch: %w", err)
+		}
+	}
+	stats.Records = len(recs)
 
-	// Serial pre-pass: validate, register firmware versions with the
+	// Serial pre-pass: skip records of quarantined drives, validate,
+	// quarantine corrupt records, register firmware versions with the
 	// encoders (the only extractor mutation — after this, extraction is
-	// read-only and safe to fan out), and route records to shards.
+	// read-only and safe to fan out), and route healthy records to
+	// shards. Quarantine decisions happen here in input order, so the
+	// ledger never depends on worker or shard count.
 	for i := range s.shards {
 		s.shards[i].recIdx = s.shards[i].recIdx[:0]
-		s.errIdx[i] = -1
-		s.errs[i] = nil
-	}
-	for i := range recs {
-		if err := recs[i].Validate(); err != nil {
-			return nil, err
-		}
-		s.ext.PrimeVersion(recs[i].Vendor, recs[i].Firmware)
-		si := s.shardOf(recs[i].SerialNumber)
-		s.shards[si].recIdx = append(s.shards[si].recIdx, int32(i))
+		s.shards[i].stats = SweepStats{}
 	}
 	if cap(s.plans) < len(recs) {
 		s.plans = make([]recPlan, len(recs))
 	}
 	s.plans = s.plans[:len(recs)]
+	for i := range recs {
+		rec := &recs[i]
+		si := s.shardOf(rec.SerialNumber)
+		sh := &s.shards[si]
+		if dr, ok := sh.drives[rec.SerialNumber]; ok && dr.q.Reason != QuarantineNone {
+			s.plans[i] = recPlan{shard: int32(si), kind: planSkip}
+			stats.Skipped++
+			continue
+		}
+		if err := rec.Validate(); err != nil {
+			dr := sh.rollFor(rec.SerialNumber)
+			dr.q = QuarantineEntry{SerialNumber: rec.SerialNumber, Day: rec.Day,
+				Reason: quarantineReasonFor(err), Err: err.Error()}
+			s.plans[i] = recPlan{shard: int32(si), kind: planQuar}
+			stats.Quarantined++
+			continue
+		}
+		if s.strictFW {
+			if reg, ok := s.registries[rec.Vendor]; ok {
+				if _, known := reg.ByVersion(rec.Firmware); !known {
+					dr := sh.rollFor(rec.SerialNumber)
+					dr.q = QuarantineEntry{SerialNumber: rec.SerialNumber, Day: rec.Day,
+						Reason: QuarantineUnknownFirmware,
+						Err:    fmt.Sprintf("serve: drive %s firmware %q not in vendor %s registry", rec.SerialNumber, rec.Firmware, rec.Vendor)}
+					s.plans[i] = recPlan{shard: int32(si), kind: planQuar}
+					stats.Quarantined++
+					continue
+				}
+			}
+		}
+		s.ext.PrimeVersion(rec.Vendor, rec.Firmware)
+		sh.recIdx = append(sh.recIdx, int32(i))
+	}
 
 	// Fan out: each shard advances its drives in input order and
-	// accumulates feature rows into its pooled arena slab.
+	// accumulates feature rows into its pooled arena slab. A failing
+	// record quarantines its drive and the shard moves on; quarantine
+	// is still deterministic because each drive lives in exactly one
+	// shard and its records process in input order.
 	width := s.ext.Width()
 	nsh := len(s.shards)
 	_ = parallel.Do(nsh, s.workers, func(si int) error {
@@ -247,30 +448,55 @@ func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
 		for _, ri := range sh.recIdx {
 			rec := &recs[ri]
 			dr := sh.rollFor(rec.SerialNumber)
+			if dr.q.Reason != QuarantineNone {
+				// Quarantined earlier in this very batch.
+				s.plans[ri] = recPlan{shard: int32(si), kind: planSkip}
+				sh.stats.Skipped++
+				continue
+			}
 			before := len(sh.meta)
 			x, meta, err := dr.roll.Advance(s.ext, s.policy, rec, sh.x, sh.meta)
 			sh.x, sh.meta = x, meta
 			if err != nil {
-				s.errIdx[si] = int(ri)
-				s.errs[si] = err
-				return nil // surfaced after the join, lowest index wins
+				sh.x = sh.x[:before*width]
+				sh.meta = sh.meta[:before]
+				dr.q = QuarantineEntry{SerialNumber: rec.SerialNumber, Day: rec.Day,
+					Reason: QuarantineRollingError, Err: err.Error()}
+				s.plans[ri] = recPlan{shard: int32(si), kind: planQuar}
+				sh.stats.Quarantined++
+				continue
 			}
-			s.plans[ri] = recPlan{shard: int32(si), rowOff: int32(before), rows: int32(len(sh.meta) - before)}
+			if !finiteRows(sh.x[before*width:]) {
+				sh.x = sh.x[:before*width]
+				sh.meta = sh.meta[:before]
+				dr.q = QuarantineEntry{SerialNumber: rec.SerialNumber, Day: rec.Day,
+					Reason: QuarantineBadValue,
+					Err:    fmt.Sprintf("serve: drive %s day %d produced a non-finite feature", rec.SerialNumber, rec.Day)}
+				s.plans[ri] = recPlan{shard: int32(si), kind: planQuar}
+				sh.stats.Quarantined++
+				continue
+			}
+			rows := int32(len(sh.meta) - before)
+			kind := planRows
+			if rows == 0 {
+				kind = planDropped
+				sh.stats.Dropped++
+			}
+			s.plans[ri] = recPlan{shard: int32(si), rowOff: int32(before), rows: rows, kind: kind}
 		}
 		return nil
 	})
-	first := -1
-	for si := 0; si < nsh; si++ {
-		if s.errIdx[si] >= 0 && (first < 0 || s.errIdx[si] < s.errIdx[first]) {
-			first = si
-		}
-	}
-	if first >= 0 {
-		return nil, s.errs[first]
+	for si := range s.shards {
+		st := &s.shards[si].stats
+		stats.Quarantined += st.Quarantined
+		stats.Skipped += st.Skipped
+		stats.Dropped += st.Dropped
 	}
 
 	// Stitch the shard slabs into one row-pointer batch and score it
-	// through the flattened kernel in a single call.
+	// through the flattened kernel in a single call. A scoring-backend
+	// failure degrades the day onto the SMART-threshold detector
+	// instead of losing it; the next healthy batch recovers.
 	totalRows := 0
 	for si := range s.shards {
 		s.shards[si].rowOff = totalRows
@@ -279,8 +505,8 @@ func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
 	entries := 0
 	for i := range recs {
 		p := &s.plans[i]
-		n := int32(1) // dropped records still produce one entry
-		if p.rows > 0 {
+		n := int32(1) // dropped/quarantined/skipped records still produce one entry
+		if p.kind == planRows {
 			n = p.rows
 		}
 		p.outOff = int32(entries)
@@ -297,7 +523,28 @@ func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
 		s.scores = make([]float64, totalRows)
 	}
 	s.scores = s.scores[:totalRows]
-	ml.ScoreBatch(s.model.Classifier, s.xs, s.scores, s.workers)
+	dayDegraded := false
+	if totalRows > 0 {
+		if s.faults.Score != nil {
+			if err := s.faults.Score(); err != nil {
+				dayDegraded = true
+			}
+		}
+		if dayDegraded {
+			for r, x := range s.xs {
+				if s.fallback != nil {
+					s.scores[r] = s.fallback.PredictProba(x)
+				} else {
+					s.scores[r] = 0
+				}
+			}
+			stats.Degraded = totalRows
+		} else {
+			ml.ScoreBatch(s.model.Classifier, s.xs, s.scores, s.workers)
+		}
+		s.degraded = dayDegraded
+	}
+	stats.Scored = totalRows
 
 	// Merge: each shard applies hysteresis to its own drives (disjoint,
 	// so no locking) and writes assessments at precomputed offsets.
@@ -308,8 +555,12 @@ func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
 		for _, ri := range sh.recIdx {
 			rec := &recs[ri]
 			p := &s.plans[ri]
-			if p.rows == 0 {
+			switch p.kind {
+			case planDropped:
 				out[p.outOff] = Assessment{SerialNumber: rec.SerialNumber, Day: rec.Day, Dropped: true}
+				continue
+			case planQuar, planSkip:
+				// Written by the serial quarantine pass below.
 				continue
 			}
 			dr := sh.drives[rec.SerialNumber]
@@ -333,12 +584,20 @@ func (s *Scorer) ObserveDay(recs []dataset.Record) ([]Assessment, error) {
 					Interpolated:     m.Interpolated,
 					ConsecutiveFlags: dr.consecutive,
 					Alarmed:          dr.alarmed,
+					Degraded:         dayDegraded,
 				}
 			}
 		}
 		return nil
 	})
-	return out, nil
+	// Serial pass for the records the fan-out never routed or the
+	// shards rejected: one Quarantined entry each.
+	for i := range recs {
+		if k := s.plans[i].kind; k == planQuar || k == planSkip {
+			out[s.plans[i].outOff] = Assessment{SerialNumber: recs[i].SerialNumber, Day: recs[i].Day, Quarantined: true}
+		}
+	}
+	return out, stats, nil
 }
 
 // ReplayStats summarises a ReplayFrame pass.
@@ -352,6 +611,9 @@ type ReplayStats struct {
 	Rows int
 	// Dropped is how many drives the gap policy excluded.
 	Dropped int
+	// Quarantined is how many drives a rolling-state error quarantined
+	// mid-replay (their remaining rows are skipped).
+	Quarantined int
 }
 
 // ReplayFrame bootstraps per-drive state from historical telemetry in
@@ -361,6 +623,10 @@ type ReplayStats struct {
 // speed. The frame must hold raw daily counts (running totals cannot
 // be split back into the exact daily vectors a future mean-fill
 // needs). Scoring then resumes with ObserveDay for subsequent days.
+//
+// A drive whose history fails to advance is quarantined (ledger reason
+// rolling-error) and its remaining rows skipped; the other drives
+// replay unaffected.
 func (s *Scorer) ReplayFrame(f *dataset.Frame) (ReplayStats, error) {
 	if f.Cumulated() {
 		return ReplayStats{}, fmt.Errorf("serve: ReplayFrame needs raw daily counts, got a cumulated frame")
@@ -376,16 +642,15 @@ func (s *Scorer) ReplayFrame(f *dataset.Frame) (ReplayStats, error) {
 		si := s.shardOf(f.Drive(di).SerialNumber)
 		lists[si] = append(lists[si], int32(di))
 	}
-	for si := range s.shards {
-		s.errIdx[si] = -1
-		s.errs[si] = nil
-	}
 	stats := parallel.Collect(len(s.shards), s.workers, func(si int) ReplayStats {
 		var st ReplayStats
 		sh := &s.shards[si]
 		for _, di := range lists[si] {
 			d := f.Drive(int(di))
 			dr := sh.rollFor(d.SerialNumber)
+			if dr.q.Reason != QuarantineNone {
+				continue
+			}
 			st.Drives++
 			wasDropped := dr.roll.Dropped()
 			rows0 := dr.roll.Rows()
@@ -394,9 +659,10 @@ func (s *Scorer) ReplayFrame(f *dataset.Frame) (ReplayStats, error) {
 					f.SmartRow(r), f.FirmwareAt(r), f.WRow(r), f.BRow(r), nil, sh.meta[:0])
 				sh.meta = meta[:0]
 				if err != nil {
-					s.errIdx[si] = int(di)
-					s.errs[si] = err
-					return st
+					dr.q = QuarantineEntry{SerialNumber: d.SerialNumber, Day: int(f.Day(r)),
+						Reason: QuarantineRollingError, Err: err.Error()}
+					st.Quarantined++
+					break
 				}
 				st.Records++
 			}
@@ -407,27 +673,20 @@ func (s *Scorer) ReplayFrame(f *dataset.Frame) (ReplayStats, error) {
 		}
 		return st
 	})
-	first := -1
-	for si := range s.shards {
-		if s.errIdx[si] >= 0 && (first < 0 || s.errIdx[si] < s.errIdx[first]) {
-			first = si
-		}
-	}
-	if first >= 0 {
-		return ReplayStats{}, s.errs[first]
-	}
 	var total ReplayStats
 	for _, st := range stats {
 		total.Drives += st.Drives
 		total.Records += st.Records
 		total.Rows += st.Rows
 		total.Dropped += st.Dropped
+		total.Quarantined += st.Quarantined
 	}
 	return total, nil
 }
 
 // UpdateModel swaps in a newly pushed model. The feature group must
-// match so the accumulated per-drive state stays valid.
+// match so the accumulated per-drive state stays valid. A failed swap
+// (including an injected one) leaves the current model serving.
 func (s *Scorer) UpdateModel(model *core.Model) error {
 	if model == nil || model.Classifier == nil {
 		return fmt.Errorf("serve: nil model")
@@ -437,6 +696,11 @@ func (s *Scorer) UpdateModel(model *core.Model) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.faults.Swap != nil {
+		if err := s.faults.Swap(); err != nil {
+			return fmt.Errorf("serve: model swap: %w", err)
+		}
+	}
 	if model.Config.Group != s.model.Config.Group {
 		return fmt.Errorf("serve: pushed model uses group %s, scorer runs %s",
 			model.Config.Group, s.model.Config.Group)
@@ -455,6 +719,15 @@ func (s *Scorer) Threshold() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.model.Threshold
+}
+
+// Degraded reports whether the most recent scored batch fell back to
+// the SMART-threshold detector. It clears by itself on the next
+// healthy batch.
+func (s *Scorer) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // Drives lists the serial numbers observed so far, sorted.
@@ -487,8 +760,53 @@ func (s *Scorer) Dropped(sn string) bool {
 	return ok && dr.roll.Dropped()
 }
 
-// ResetDrive clears a drive's state (e.g. after replacement). It
-// reports whether the drive was known.
+// Quarantined returns a drive's quarantine ledger entry, if any.
+func (s *Scorer) Quarantined(sn string) (QuarantineEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dr, ok := s.shards[s.shardOf(sn)].drives[sn]
+	if !ok || dr.q.Reason == QuarantineNone {
+		return QuarantineEntry{}, false
+	}
+	return dr.q, true
+}
+
+// QuarantineReasons returns the full quarantine ledger, sorted by
+// serial number. The ledger is deterministic: the same telemetry feed
+// produces the same entries at any worker or shard count.
+func (s *Scorer) QuarantineReasons() []QuarantineEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []QuarantineEntry
+	for i := range s.shards {
+		for _, dr := range s.shards[i].drives {
+			if dr.q.Reason != QuarantineNone {
+				out = append(out, dr.q)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SerialNumber < out[j].SerialNumber })
+	return out
+}
+
+// ReviveDrive lifts a drive's quarantine and resets its state, so the
+// next record starts a fresh series — the operator's path after
+// re-imaging or replacing a corrupt collector. It reports whether the
+// drive was quarantined.
+func (s *Scorer) ReviveDrive(sn string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := &s.shards[s.shardOf(sn)]
+	dr, ok := sh.drives[sn]
+	if !ok || dr.q.Reason == QuarantineNone {
+		return false
+	}
+	sh.drives[sn] = &driveRoll{roll: features.NewRollingState()}
+	return true
+}
+
+// ResetDrive clears a drive's state (e.g. after replacement),
+// quarantine entry included. It reports whether the drive was known.
 func (s *Scorer) ResetDrive(sn string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -113,7 +113,7 @@ func runDays(t *testing.T, s *Scorer, batches [][]dataset.Record) []Assessment {
 	t.Helper()
 	var out []Assessment
 	for _, batch := range batches {
-		as, err := s.ObserveDay(batch)
+		as, _, err := s.ObserveDay(batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -272,7 +272,8 @@ func TestReplayFrameRejectsCumulated(t *testing.T) {
 }
 
 // TestScorerLifecycle covers model swap, drive listing, reset, and the
-// out-of-order contract.
+// out-of-order contract (now fail-soft: a replayed day quarantines the
+// affected drives instead of failing the batch).
 func TestScorerLifecycle(t *testing.T) {
 	fleet, model, regs := setup(t)
 	batches := dayBatches(fleet, "I")
@@ -280,7 +281,7 @@ func TestScorerLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ObserveDay(batches[0]); err != nil {
+	if _, _, err := s.ObserveDay(batches[0]); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Drives()) == 0 {
@@ -296,13 +297,39 @@ func TestScorerLifecycle(t *testing.T) {
 	if err := s.UpdateModel(&bad); err == nil {
 		t.Fatal("group change accepted")
 	}
-	// Re-feeding day 0 must fail on ordering for some record.
-	if _, err := s.ObserveDay(batches[0]); err == nil {
-		t.Fatal("replayed day accepted")
+	// Re-feeding day 0 violates day ordering for every drive in the
+	// batch: each must be quarantined with a rolling-error reason, not
+	// fail the sweep.
+	as, st, err := s.ObserveDay(batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != len(batches[0]) {
+		t.Fatalf("replayed day: %d quarantined, want %d", st.Quarantined, len(batches[0]))
+	}
+	for i := range as {
+		if !as[i].Quarantined {
+			t.Fatalf("assessment %d of replayed day not marked quarantined: %+v", i, as[i])
+		}
+	}
+	ledger := s.QuarantineReasons()
+	if len(ledger) != len(batches[0]) {
+		t.Fatalf("ledger holds %d drives, want %d", len(ledger), len(batches[0]))
+	}
+	for _, e := range ledger {
+		if e.Reason != QuarantineRollingError {
+			t.Fatalf("ledger entry %+v: want reason %v", e, QuarantineRollingError)
+		}
 	}
 	sn := s.Drives()[0]
+	if e, ok := s.Quarantined(sn); !ok || e.SerialNumber != sn {
+		t.Fatalf("Quarantined(%s) = %+v, %v", sn, e, ok)
+	}
 	if !s.ResetDrive(sn) || s.ResetDrive(sn) {
 		t.Fatal("ResetDrive bookkeeping wrong")
+	}
+	if _, ok := s.Quarantined(sn); ok {
+		t.Fatal("ResetDrive left a quarantine entry behind")
 	}
 	if _, err := New(nil, Options{}); err == nil {
 		t.Fatal("nil model accepted")
